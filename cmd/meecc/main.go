@@ -1,0 +1,259 @@
+// Command meecc drives the MEE-cache covert channel and the studies around
+// it on the simulated SGX machine.
+//
+// Usage:
+//
+//	meecc [send] [-msg TEXT] [-window CYCLES] [-seed N] [-noise KIND]
+//	      [-policy NAME] [-reliable] [-inband] [-lanes N] [-v]
+//	meecc sweep    [-seed N] [-bits N]         # Figure 7
+//	meecc noise    [-seed N] [-bits N]         # Figure 8
+//	meecc latency  [-seed N]                   # Figure 5
+//	meecc stealth  [-seed N]                   # MEE vs LLC P+P footprint
+//	meecc overhead [-seed N]                   # SGX slowdown curve
+//	meecc timing   [-seed N]                   # §3 time sources
+//	meecc activity [-seed N]                   # victim-activity inference
+//
+// Noise kinds: none, memory, mee512, mee4k. Policies: lru (default),
+// tree-plru, bit-plru, fifo, random, nru, srrip.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meecc"
+	"meecc/internal/mee"
+	"meecc/internal/trace"
+)
+
+var (
+	msg      = flag.String("msg", "MEE CACHE COVERT CHANNEL", "message the trojan transmits")
+	window   = flag.Int64("window", 15000, "timing window Tsync in cycles")
+	seed     = flag.Uint64("seed", 42, "simulation seed")
+	noise    = flag.String("noise", "none", "background noise: none, memory, mee512, mee4k")
+	policy   = flag.String("policy", "", "MEE cache replacement policy override")
+	reliable = flag.Bool("reliable", false, "use FEC framing (Hamming(7,4) + CRC-16 + ARQ)")
+	inband   = flag.Bool("inband", false, "synchronize in-band (no agreed transmission start)")
+	lanes    = flag.Int("lanes", 1, "parallel trojan lanes (1 or 2)")
+	bits     = flag.Int("bits", 256, "payload bits for sweep/noise studies")
+	verbose  = flag.Bool("v", false, "print the per-bit probe trace")
+)
+
+func main() {
+	cmd := "send"
+	args := os.Args[1:]
+	if len(args) > 0 && args[0][0] != '-' {
+		cmd = args[0]
+		args = args[1:]
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	cmds := map[string]func() error{
+		"send":     runSend,
+		"sweep":    runSweep,
+		"noise":    runNoise,
+		"latency":  runLatency,
+		"stealth":  runStealth,
+		"overhead": runOverhead,
+		"timing":   runTiming,
+		"activity": runActivity,
+	}
+	run, ok := cmds[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, latency, stealth, overhead, timing, activity)\n", cmd)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "meecc:", err)
+		os.Exit(1)
+	}
+}
+
+func channelConfig() (meecc.ChannelConfig, error) {
+	cfg := meecc.DefaultChannelConfig(*seed)
+	cfg.Window = meecc.Cycles(*window)
+	cfg.Bits = meecc.BitsFromString(*msg)
+	cfg.Options.MEEPolicy = *policy
+	switch *noise {
+	case "none":
+		cfg.Noise = meecc.NoiseNone
+	case "memory":
+		cfg.Noise = meecc.NoiseMemory
+	case "mee512":
+		cfg.Noise = meecc.NoiseMEE512
+	case "mee4k":
+		cfg.Noise = meecc.NoiseMEE4K
+	default:
+		return cfg, fmt.Errorf("unknown noise kind %q", *noise)
+	}
+	return cfg, nil
+}
+
+func runSend() error {
+	cfg, err := channelConfig()
+	if err != nil {
+		return err
+	}
+	switch {
+	case *reliable:
+		fmt.Printf("transmitting %d payload bytes with FEC framing...\n", len(*msg))
+		res, err := meecc.RunReliable(cfg, []byte(*msg))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("decoded : %q (CRC ok, %d corrections, %d attempt(s))\n",
+			res.Payload, res.Stats.Corrections, res.Attempts)
+		fmt.Printf("raw     : %.1f KBps, %d channel bit errors\n", res.Channel.KBps, res.Channel.BitErrors)
+		fmt.Printf("goodput : %.1f KBps after coding overhead\n", res.GoodputKBps)
+		return nil
+
+	case *inband:
+		fmt.Printf("transmitting %d bits with in-band synchronization...\n", len(cfg.Bits))
+		res, err := meecc.RunInBandChannel(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("locked on phase attempt %d; decoded %q\n", res.Attempt, meecc.StringFromBits(res.Received))
+		fmt.Printf("%d/%d bit errors, %.1f KBps effective\n", res.BitErrors, len(res.Sent), res.KBps)
+		return nil
+
+	case *lanes > 1:
+		if pad := len(cfg.Bits) % *lanes; pad != 0 {
+			cfg.Bits = append(cfg.Bits, make([]byte, *lanes-pad)...)
+		}
+		fmt.Printf("transmitting %d bits over %d lanes...\n", len(cfg.Bits), *lanes)
+		res, err := meecc.RunParallelChannel(cfg, *lanes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("decoded %q\n", meecc.StringFromBits(res.Received))
+		fmt.Printf("%.1f KBps aggregate, %d/%d bit errors (per lane: %v)\n",
+			res.KBps, res.BitErrors, len(res.Sent), res.LaneErrors)
+		return nil
+	}
+
+	fmt.Printf("transmitting %d bits (%d bytes) over the MEE cache covert channel...\n",
+		len(cfg.Bits), len(*msg))
+	res, err := meecc.RunChannel(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsetup: eviction set of %d ways found in %.2f ms of machine time; spy threshold %d cycles\n",
+		res.EvictionSetSize, float64(res.SetupCycles)/4e6, res.SpyThreshold)
+	fmt.Printf("channel: %.1f KBps, %d/%d bit errors (%.2f%%)\n",
+		res.KBps, res.BitErrors, len(res.Sent), 100*res.ErrorRate)
+	fmt.Printf("decoded: %q\n", meecc.StringFromBits(res.Received))
+	if *verbose {
+		probes := make([]float64, len(res.ProbeTimes))
+		for i, p := range res.ProbeTimes {
+			probes[i] = float64(p)
+		}
+		fmt.Printf("probe trace: %s\n", trace.Sparkline(probes))
+		for i := range res.Sent {
+			mark := ""
+			if res.Received[i] != res.Sent[i] {
+				mark = " <-- error"
+			}
+			fmt.Printf("  bit %3d sent %d recv %d probe %4d%s\n",
+				i, res.Sent[i], res.Received[i], res.ProbeTimes[i], mark)
+		}
+	}
+	return nil
+}
+
+func runSweep() error {
+	pts := meecc.WindowSweep(meecc.DefaultOptions(*seed), nil, *bits)
+	tb := trace.NewTable("window", "KBps", "error rate")
+	for _, p := range pts {
+		if p.Err != nil {
+			tb.Row(int64(p.Window), "-", p.Err.Error())
+			continue
+		}
+		tb.Row(int64(p.Window), p.KBps, p.ErrorRate)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func runNoise() error {
+	runs := meecc.NoiseStudy(meecc.DefaultOptions(*seed), meecc.Cycles(*window), *bits)
+	tb := trace.NewTable("environment", "error bits", "error rate")
+	for _, r := range runs {
+		if r.Err != nil {
+			tb.Row(r.Kind.String(), "-", r.Err.Error())
+			continue
+		}
+		tb.Row(r.Kind.String(), r.Result.BitErrors, r.Result.ErrorRate)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func runLatency() error {
+	res, err := meecc.CharacterizeLatency(meecc.DefaultOptions(*seed), 500)
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("tree level", "samples", "mean latency (cyc)")
+	for h := mee.HitVersions; h <= mee.HitRoot; h++ {
+		hst := res.ByLevel[h]
+		tb.Row(h.String(), hst.N(), hst.Mean())
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func runStealth() error {
+	rows, err := meecc.StealthStudy(meecc.DefaultOptions(*seed), meecc.Cycles(*window), 128)
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("attack", "error", "LLC evictions/bit", "hottest-set share", "MEE reads/bit")
+	for _, r := range rows {
+		tb.Row(r.Attack, r.ErrorRate, r.LLCEvictionsPerBit, r.LLCHottestShare, r.MEEReadsPerBit)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func runOverhead() error {
+	rows, err := meecc.MeasureOverhead(meecc.DefaultOptions(*seed), nil, 600)
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("working set", "plain (cyc)", "enclave (cyc)", "slowdown")
+	for _, r := range rows {
+		tb.Row(fmt.Sprintf("%d KB", r.WorkingSetBytes/1024), r.PlainCycles, r.EnclaveCycles, r.Slowdown())
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func runTiming() error {
+	rows, err := meecc.TimingStudy(meecc.DefaultOptions(*seed), 60)
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("mechanism", "in-enclave", "overhead (cyc)", "jitter sd")
+	for _, r := range rows {
+		if !r.AvailableInEnclave {
+			tb.Row(r.Mechanism, "no (#UD)", "-", "-")
+			continue
+		}
+		tb.Row(r.Mechanism, "yes", r.MeanOverhead, r.StdDev)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func runActivity() error {
+	res, err := meecc.InferActivity(meecc.DefaultOptions(*seed), 32, 150_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accuracy %.0f%% over 32 epochs (quiet %.0f cyc, active %.0f cyc)\n",
+		100*res.Accuracy, res.QuietMean, res.ActiveMean)
+	return nil
+}

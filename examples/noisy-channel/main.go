@@ -1,0 +1,31 @@
+// Run the covert channel in the four noise environments of Figure 8
+// (quiet, memory/cache stress, and two MEE-thrashing neighbors) and show
+// how only traffic that actually reaches the MEE cache disturbs the
+// channel — the property that makes the attack stealthy against
+// conventional cache-activity monitoring.
+//
+//	go run ./examples/noisy-channel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meecc"
+)
+
+func main() {
+	runs := meecc.NoiseStudy(meecc.DefaultOptions(3), 15000, 128)
+	fmt.Println("128-bit '100100...' transmission, 15000-cycle windows:")
+	fmt.Println()
+	for _, r := range runs {
+		if r.Err != nil {
+			log.Fatalf("%v: %v", r.Kind, r.Err)
+		}
+		fmt.Printf("  %-18s %2d error bits (%.1f%%)\n",
+			r.Kind, r.Result.BitErrors, 100*r.Result.ErrorRate)
+	}
+	fmt.Println()
+	fmt.Println("paper's Figure 8: 1 error quiet, ~unchanged under plain memory noise,")
+	fmt.Println("4-5 errors when a neighbor loads fresh integrity-tree lines into the MEE cache")
+}

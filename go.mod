@@ -1,0 +1,3 @@
+module meecc
+
+go 1.22

@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchCache(b *testing.B, p Policy) {
+	c := New("bench", 128, 8, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := i & 127
+		tag := Tag(i % 4096)
+		if !c.Lookup(set, tag) {
+			c.Insert(set, tag, false)
+		}
+	}
+}
+
+func BenchmarkLookupInsertLRU(b *testing.B)      { benchCache(b, NewLRU()) }
+func BenchmarkLookupInsertTreePLRU(b *testing.B) { benchCache(b, NewTreePLRU()) }
+func BenchmarkLookupInsertBitPLRU(b *testing.B)  { benchCache(b, NewBitPLRU()) }
+func BenchmarkLookupInsertRandom(b *testing.B) {
+	benchCache(b, NewRandom(rand.New(rand.NewPCG(1, 2))))
+}
+
+func BenchmarkInvalidate(b *testing.B) {
+	c := New("bench", 128, 8, NewLRU())
+	for s := 0; s < 128; s++ {
+		for w := 0; w < 8; w++ {
+			c.Insert(s, Tag(s*8+w), false)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := i & 127
+		tag := Tag(set*8 + (i>>7)&7)
+		c.Invalidate(set, tag)
+		c.Insert(set, tag, false)
+	}
+}

@@ -1,0 +1,246 @@
+// Package cache provides a generic set-associative cache model with
+// pluggable replacement policies. It is used for the CPU cache hierarchy
+// (L1/L2/LLC) and for the MEE cache; callers own the address-to-set mapping,
+// so the MEE's odd/even set split for versions and PD_Tag lines lives in the
+// mee package, not here.
+package cache
+
+import "fmt"
+
+// Tag identifies a cache line. By convention it is the full line address
+// (physical address >> log2(lineSize)), which keeps tags unique across sets
+// and makes test assertions straightforward.
+type Tag uint64
+
+// Line is one cache line's bookkeeping. The data payload lives in the
+// backing store (DRAM model); caches here track presence and dirtiness only,
+// which is all the timing channel needs.
+type Line struct {
+	Tag   Tag
+	Valid bool
+	Dirty bool
+}
+
+// Stats accumulates cache event counts.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Fills         uint64
+	Evictions     uint64
+	WritebacksOut uint64 // dirty evictions + dirty invalidations
+	Invalidations uint64
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use; the
+// simulation engine serializes all actors, so no locking is needed.
+type Cache struct {
+	name    string
+	sets    int
+	ways    int
+	lines   [][]Line
+	state   []SetState
+	policy  Policy
+	stats   Stats
+	evBySet []uint64
+}
+
+// New builds a cache with the given geometry and replacement policy.
+// sets and ways must be positive; tree-PLRU additionally requires ways to be
+// a power of two (enforced by the policy).
+func New(name string, sets, ways int, policy Policy) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry %dx%d", name, sets, ways))
+	}
+	c := &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		lines:   make([][]Line, sets),
+		state:   make([]SetState, sets),
+		policy:  policy,
+		evBySet: make([]uint64, sets),
+	}
+	for s := range c.lines {
+		c.lines[s] = make([]Line, ways)
+		c.state[s] = policy.NewSetState(ways)
+	}
+	return c
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics counters, including per-set evictions.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.evBySet {
+		c.evBySet[i] = 0
+	}
+}
+
+// EvictionsBySet returns a copy of the per-set conflict-eviction counters —
+// the signal hardware-performance-counter detectors of cache attacks watch
+// for (a covert channel hammers one set; benign traffic spreads out).
+func (c *Cache) EvictionsBySet() []uint64 {
+	out := make([]uint64, len(c.evBySet))
+	copy(out, c.evBySet)
+	return out
+}
+
+// MaxSetEvictions returns the hottest set's eviction count and its index.
+func (c *Cache) MaxSetEvictions() (set int, count uint64) {
+	for s, n := range c.evBySet {
+		if n > count {
+			set, count = s, n
+		}
+	}
+	return set, count
+}
+
+// Lookup probes set for tag. On a hit it updates replacement state and
+// returns true. On a miss it returns false and does not modify the cache.
+func (c *Cache) Lookup(set int, tag Tag) bool {
+	ws := c.lines[set]
+	for w := range ws {
+		if ws[w].Valid && ws[w].Tag == tag {
+			c.state[set].Touch(w)
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains probes set for tag without updating replacement state or stats.
+func (c *Cache) Contains(set int, tag Tag) bool {
+	for _, l := range c.lines[set] {
+		if l.Valid && l.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDirty sets the dirty bit of a resident line. It reports whether the
+// line was present.
+func (c *Cache) MarkDirty(set int, tag Tag) bool {
+	ws := c.lines[set]
+	for w := range ws {
+		if ws[w].Valid && ws[w].Tag == tag {
+			ws[w].Dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills tag into set, evicting if necessary. It returns the evicted
+// line (Valid=false if an empty way was used). The inserted line's dirty bit
+// is set from dirty. Inserting a tag that is already resident just touches
+// it (and ORs in the dirty bit).
+func (c *Cache) Insert(set int, tag Tag, dirty bool) (evicted Line) {
+	ws := c.lines[set]
+	// Already present: refresh.
+	for w := range ws {
+		if ws[w].Valid && ws[w].Tag == tag {
+			ws[w].Dirty = ws[w].Dirty || dirty
+			c.state[set].Touch(w)
+			return Line{}
+		}
+	}
+	// Empty way available.
+	for w := range ws {
+		if !ws[w].Valid {
+			ws[w] = Line{Tag: tag, Valid: true, Dirty: dirty}
+			c.state[set].Fill(w)
+			c.stats.Fills++
+			return Line{}
+		}
+	}
+	// Evict a victim.
+	w := c.state[set].Victim()
+	if w < 0 || w >= c.ways {
+		panic(fmt.Sprintf("cache %s: policy %s returned victim way %d of %d", c.name, c.policy.Name(), w, c.ways))
+	}
+	evicted = ws[w]
+	c.stats.Evictions++
+	c.evBySet[set]++
+	if evicted.Dirty {
+		c.stats.WritebacksOut++
+	}
+	ws[w] = Line{Tag: tag, Valid: true, Dirty: dirty}
+	c.state[set].Fill(w)
+	c.stats.Fills++
+	return evicted
+}
+
+// Invalidate removes tag from set (clflush semantics). It returns the line
+// that was removed; Valid=false means the tag was not resident. Dirty
+// removals count as writebacks.
+func (c *Cache) Invalidate(set int, tag Tag) Line {
+	ws := c.lines[set]
+	for w := range ws {
+		if ws[w].Valid && ws[w].Tag == tag {
+			l := ws[w]
+			ws[w] = Line{}
+			c.state[set].Invalidate(w)
+			c.stats.Invalidations++
+			if l.Dirty {
+				c.stats.WritebacksOut++
+			}
+			return l
+		}
+	}
+	return Line{}
+}
+
+// FlushAll invalidates every line, returning the dirty lines that would be
+// written back.
+func (c *Cache) FlushAll() []Line {
+	var dirty []Line
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			l := c.lines[s][w]
+			if l.Valid {
+				c.lines[s][w] = Line{}
+				c.state[s].Invalidate(w)
+				c.stats.Invalidations++
+				if l.Dirty {
+					dirty = append(dirty, l)
+					c.stats.WritebacksOut++
+				}
+			}
+		}
+	}
+	return dirty
+}
+
+// SetContents returns a copy of the lines in a set, for tests and tools.
+func (c *Cache) SetContents(set int) []Line {
+	out := make([]Line, c.ways)
+	copy(out, c.lines[set])
+	return out
+}
+
+// ValidCount returns the number of valid lines in the whole cache.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for s := range c.lines {
+		for _, l := range c.lines[s] {
+			if l.Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Policy constructs per-set replacement state. Implementations must be
+// deterministic given the engine's seeded random source.
+type Policy interface {
+	Name() string
+	NewSetState(ways int) SetState
+}
+
+// SetState is the replacement bookkeeping for one set.
+type SetState interface {
+	// Touch records a reference to way (hit).
+	Touch(way int)
+	// Fill records that way was (re)filled with a new line. Policies that
+	// distinguish insertion from reference (FIFO) use this; others treat it
+	// as Touch.
+	Fill(way int)
+	// Victim returns the way to evict. All ways are valid when called.
+	Victim() int
+	// Invalidate clears state for way after the line is removed.
+	Invalidate(way int)
+}
+
+// ---------------------------------------------------------------------------
+// True LRU
+
+type lruPolicy struct{}
+
+// NewLRU returns a true least-recently-used policy.
+func NewLRU() Policy { return lruPolicy{} }
+
+func (lruPolicy) Name() string { return "lru" }
+func (lruPolicy) NewSetState(ways int) SetState {
+	return &lruState{stamp: make([]uint64, ways)}
+}
+
+type lruState struct {
+	stamp []uint64
+	tick  uint64
+}
+
+func (s *lruState) Touch(way int) { s.tick++; s.stamp[way] = s.tick }
+func (s *lruState) Fill(way int)  { s.Touch(way) }
+func (s *lruState) Victim() int {
+	best, bestStamp := 0, s.stamp[0]
+	for w := 1; w < len(s.stamp); w++ {
+		if s.stamp[w] < bestStamp {
+			best, bestStamp = w, s.stamp[w]
+		}
+	}
+	return best
+}
+func (s *lruState) Invalidate(way int) { s.stamp[way] = 0 }
+
+// ---------------------------------------------------------------------------
+// FIFO
+
+type fifoPolicy struct{}
+
+// NewFIFO returns a first-in-first-out policy (insertion order, references
+// do not refresh).
+func NewFIFO() Policy { return fifoPolicy{} }
+
+func (fifoPolicy) Name() string { return "fifo" }
+func (fifoPolicy) NewSetState(ways int) SetState {
+	return &fifoState{stamp: make([]uint64, ways)}
+}
+
+type fifoState struct {
+	stamp []uint64
+	tick  uint64
+}
+
+func (s *fifoState) Touch(int)    {}
+func (s *fifoState) Fill(way int) { s.tick++; s.stamp[way] = s.tick }
+func (s *fifoState) Victim() int {
+	best, bestStamp := 0, s.stamp[0]
+	for w := 1; w < len(s.stamp); w++ {
+		if s.stamp[w] < bestStamp {
+			best, bestStamp = w, s.stamp[w]
+		}
+	}
+	return best
+}
+func (s *fifoState) Invalidate(way int) { s.stamp[way] = 0 }
+
+// ---------------------------------------------------------------------------
+// Tree-PLRU ("approximate LRU", the default assumption for the MEE cache —
+// Section 5.3 of the paper). Requires power-of-two associativity.
+
+type treePLRUPolicy struct{}
+
+// NewTreePLRU returns a binary-tree pseudo-LRU policy, the classic
+// "approximate LRU" found in real hardware caches. The paper's two-phase
+// (forward+backward) eviction in Algorithm 2 exists precisely because a
+// single in-order pass over an eviction set does not reliably displace all
+// resident lines under this policy.
+func NewTreePLRU() Policy { return treePLRUPolicy{} }
+
+func (treePLRUPolicy) Name() string { return "tree-plru" }
+func (treePLRUPolicy) NewSetState(ways int) SetState {
+	if ways&(ways-1) != 0 {
+		panic(fmt.Sprintf("tree-plru requires power-of-two ways, got %d", ways))
+	}
+	return &treePLRUState{ways: ways, bits: make([]bool, ways-1)}
+}
+
+// treePLRUState stores the internal nodes of a complete binary tree over the
+// ways. bits[i] == false means "left subtree is older" (victim path goes
+// left); Touch flips the bits along the accessed way's path to point away
+// from it.
+type treePLRUState struct {
+	ways int
+	bits []bool
+}
+
+func (s *treePLRUState) Touch(way int) {
+	node := 0
+	// Walk from the root; at each level decide left/right from the way's
+	// bits (MSB first) and point the node away from the accessed half.
+	for span := s.ways / 2; span >= 1; span /= 2 {
+		right := way&span != 0
+		s.bits[node] = !right // point at the other half next time
+		if right {
+			node = 2*node + 2
+		} else {
+			node = 2*node + 1
+		}
+		if span == 1 {
+			break
+		}
+	}
+}
+
+func (s *treePLRUState) Fill(way int) { s.Touch(way) }
+
+func (s *treePLRUState) Victim() int {
+	node, way := 0, 0
+	for span := s.ways / 2; span >= 1; span /= 2 {
+		if s.bits[node] {
+			way |= span
+			node = 2*node + 2
+		} else {
+			node = 2*node + 1
+		}
+		if span == 1 {
+			break
+		}
+	}
+	return way
+}
+
+func (s *treePLRUState) Invalidate(int) {}
+
+// ---------------------------------------------------------------------------
+// Bit-PLRU (MRU bits)
+
+type bitPLRUPolicy struct{}
+
+// NewBitPLRU returns an MRU-bit pseudo-LRU policy: each reference sets the
+// way's MRU bit; when all bits would be set, the others are cleared. The
+// victim is the lowest way with a clear bit.
+func NewBitPLRU() Policy { return bitPLRUPolicy{} }
+
+func (bitPLRUPolicy) Name() string { return "bit-plru" }
+func (bitPLRUPolicy) NewSetState(ways int) SetState {
+	return &bitPLRUState{mru: make([]bool, ways)}
+}
+
+type bitPLRUState struct{ mru []bool }
+
+func (s *bitPLRUState) Touch(way int) {
+	s.mru[way] = true
+	for _, b := range s.mru {
+		if !b {
+			return
+		}
+	}
+	for w := range s.mru {
+		s.mru[w] = false
+	}
+	s.mru[way] = true
+}
+func (s *bitPLRUState) Fill(way int) { s.Touch(way) }
+func (s *bitPLRUState) Victim() int {
+	for w, b := range s.mru {
+		if !b {
+			return w
+		}
+	}
+	return 0
+}
+func (s *bitPLRUState) Invalidate(way int) { s.mru[way] = false }
+
+// ---------------------------------------------------------------------------
+// Random
+
+type randomPolicy struct{ rng *rand.Rand }
+
+// NewRandom returns a random-replacement policy drawing from rng (pass the
+// engine's seeded source for reproducibility). Random replacement is one of
+// the mitigation candidates evaluated in the extension experiments.
+func NewRandom(rng *rand.Rand) Policy { return &randomPolicy{rng: rng} }
+
+func (*randomPolicy) Name() string { return "random" }
+func (p *randomPolicy) NewSetState(ways int) SetState {
+	return &randomState{ways: ways, rng: p.rng}
+}
+
+type randomState struct {
+	ways int
+	rng  *rand.Rand
+}
+
+func (s *randomState) Touch(int)      {}
+func (s *randomState) Fill(int)       {}
+func (s *randomState) Victim() int    { return s.rng.IntN(s.ways) }
+func (s *randomState) Invalidate(int) {}
+
+// PolicyByName constructs a policy from its name; random and nru need rng
+// (may be nil for the others). Recognized: lru, fifo, tree-plru, bit-plru,
+// random, nru, srrip.
+func PolicyByName(name string, rng *rand.Rand) (Policy, error) {
+	switch name {
+	case "lru":
+		return NewLRU(), nil
+	case "fifo":
+		return NewFIFO(), nil
+	case "tree-plru":
+		return NewTreePLRU(), nil
+	case "bit-plru":
+		return NewBitPLRU(), nil
+	case "random":
+		if rng == nil {
+			return nil, fmt.Errorf("cache: random policy requires a random source")
+		}
+		return NewRandom(rng), nil
+	default:
+		return extendedPolicyByName(name, rng)
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// ---------------------------------------------------------------------------
+// NRU (not-recently-used): one reference bit per way; victim is chosen among
+// clear-bit ways (pseudo-randomly to avoid positional bias); when every bit
+// is set, all others are cleared. Many embedded and GPU caches use NRU.
+
+type nruPolicy struct{ rng *rand.Rand }
+
+// NewNRU returns a not-recently-used policy with pseudo-random victim
+// selection among the non-referenced ways, drawing from rng.
+func NewNRU(rng *rand.Rand) Policy { return &nruPolicy{rng: rng} }
+
+func (*nruPolicy) Name() string { return "nru" }
+func (p *nruPolicy) NewSetState(ways int) SetState {
+	return &nruState{ref: make([]bool, ways), rng: p.rng}
+}
+
+type nruState struct {
+	ref []bool
+	rng *rand.Rand
+}
+
+func (s *nruState) Touch(way int) {
+	s.ref[way] = true
+	for _, b := range s.ref {
+		if !b {
+			return
+		}
+	}
+	for w := range s.ref {
+		s.ref[w] = false
+	}
+	s.ref[way] = true
+}
+func (s *nruState) Fill(way int) { s.Touch(way) }
+func (s *nruState) Victim() int {
+	candidates := make([]int, 0, len(s.ref))
+	for w, b := range s.ref {
+		if !b {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		return s.rng.IntN(len(s.ref))
+	}
+	return candidates[s.rng.IntN(len(candidates))]
+}
+func (s *nruState) Invalidate(way int) { s.ref[way] = false }
+
+// ---------------------------------------------------------------------------
+// SRRIP (static re-reference interval prediction, Jaleel et al. ISCA 2010):
+// 2-bit re-reference prediction values; hits promote to 0, fills insert at
+// maxRRPV-1, victims are ways at maxRRPV (aging everyone when none is).
+
+const srripMax = 3 // 2-bit RRPV
+
+type srripPolicy struct{}
+
+// NewSRRIP returns a static-RRIP policy, the scan-resistant replacement
+// found in recent Intel LLCs.
+func NewSRRIP() Policy { return srripPolicy{} }
+
+func (srripPolicy) Name() string { return "srrip" }
+func (srripPolicy) NewSetState(ways int) SetState {
+	st := &srripState{rrpv: make([]uint8, ways)}
+	for i := range st.rrpv {
+		st.rrpv[i] = srripMax
+	}
+	return st
+}
+
+type srripState struct{ rrpv []uint8 }
+
+func (s *srripState) Touch(way int) { s.rrpv[way] = 0 }
+func (s *srripState) Fill(way int)  { s.rrpv[way] = srripMax - 1 }
+func (s *srripState) Victim() int {
+	for {
+		for w, v := range s.rrpv {
+			if v >= srripMax {
+				return w
+			}
+		}
+		for w := range s.rrpv {
+			s.rrpv[w]++
+		}
+	}
+}
+func (s *srripState) Invalidate(way int) { s.rrpv[way] = srripMax }
+
+// extendedPolicyByName resolves the additional policies; see PolicyByName.
+func extendedPolicyByName(name string, rng *rand.Rand) (Policy, error) {
+	switch name {
+	case "nru":
+		if rng == nil {
+			return nil, fmt.Errorf("cache: nru policy requires a random source")
+		}
+		return NewNRU(rng), nil
+	case "srrip":
+		return NewSRRIP(), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown replacement policy %q", name)
+	}
+}

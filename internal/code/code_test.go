@@ -1,0 +1,254 @@
+package code
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingRoundTripClean(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 1}
+	enc := HammingEncode(bits)
+	if len(enc) != len(bits)/4*7 {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	dec, corrections, err := HammingDecode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrections != 0 {
+		t.Fatalf("clean stream needed %d corrections", corrections)
+	}
+	if !bytes.Equal(dec, bits) {
+		t.Fatalf("roundtrip %v -> %v", bits, dec)
+	}
+}
+
+func TestHammingCorrectsEverySingleBitFlip(t *testing.T) {
+	for val := byte(0); val < 16; val++ {
+		bits := []byte{val & 1, (val >> 1) & 1, (val >> 2) & 1, (val >> 3) & 1}
+		enc := HammingEncode(bits)
+		for pos := range enc {
+			flipped := make([]byte, len(enc))
+			copy(flipped, enc)
+			flipped[pos] ^= 1
+			dec, corrections, err := HammingDecode(flipped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if corrections != 1 {
+				t.Fatalf("val %d pos %d: %d corrections", val, pos, corrections)
+			}
+			if !bytes.Equal(dec, bits) {
+				t.Fatalf("val %d pos %d: not corrected (%v)", val, pos, dec)
+			}
+		}
+	}
+}
+
+func TestHammingEncodeRejectsBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HammingEncode([]byte{1, 0, 1})
+}
+
+func TestHammingDecodeRejectsBadLength(t *testing.T) {
+	if _, _, err := HammingDecode(make([]byte, 13)); err == nil {
+		t.Fatal("expected error for non-multiple-of-7 stream")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	for _, depth := range []int{0, 1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 21, 64, 100} {
+			bits := make([]byte, n)
+			for i := range bits {
+				bits[i] = byte(i % 2)
+			}
+			got := Deinterleave(Interleave(bits, depth), depth)
+			if !bytes.Equal(got, bits) {
+				t.Fatalf("depth %d n %d roundtrip failed", depth, n)
+			}
+		}
+	}
+}
+
+func TestInterleaveSpreadsBursts(t *testing.T) {
+	// A burst of `depth` consecutive errors in the interleaved stream must
+	// land in `depth` different positions at least 7 apart after
+	// deinterleaving (so each Hamming block sees at most one).
+	const n, depth = 70, 7
+	burstStart := 21
+	positions := []int{}
+	marked := make([]byte, n)
+	for i := 0; i < depth; i++ {
+		marked[burstStart+i] = 1
+	}
+	restored := Deinterleave(marked, depth)
+	for i, b := range restored {
+		if b == 1 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != depth {
+		t.Fatalf("burst positions %v", positions)
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i]-positions[i-1] < 7 {
+			t.Fatalf("burst errors %d and %d land within one code block", positions[i-1], positions[i])
+		}
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 = %#x, want 0x29B1", got)
+	}
+}
+
+func TestCodecRoundTripClean(t *testing.T) {
+	c := Codec{InterleaveDepth: 7}
+	payload := []byte("the MEE cache leaks")
+	bits, err := c.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != c.EncodedBits(len(payload)) {
+		t.Fatalf("encoded %d bits, EncodedBits says %d", len(bits), c.EncodedBits(len(payload)))
+	}
+	got, st, err := c.Decode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("roundtrip %q -> %q", payload, got)
+	}
+	if st.Corrections != 0 || !st.CRCOK {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCodecCorrectsScatteredErrors(t *testing.T) {
+	c := Codec{InterleaveDepth: 7}
+	payload := []byte("counter tree versions line")
+	bits, _ := c.Encode(payload)
+	// Build an error pattern with exactly one flipped bit per (randomly
+	// chosen) Hamming block in code space, then map it through the
+	// interleaver onto the channel stream.
+	rng := rand.New(rand.NewPCG(1, 2))
+	errVec := make([]byte, len(bits))
+	flips := 0
+	for block := 0; block*7 < len(errVec); block += 2 {
+		errVec[block*7+rng.IntN(7)] = 1
+		flips++
+	}
+	chanErr := Interleave(errVec, c.InterleaveDepth)
+	for i := range bits {
+		bits[i] ^= chanErr[i]
+	}
+	got, st, err := c.Decode(bits)
+	if err != nil {
+		t.Fatalf("decode with %d scattered flips: %v", flips, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if st.Corrections == 0 {
+		t.Fatal("no corrections recorded")
+	}
+}
+
+func TestCodecCorrectsBurst(t *testing.T) {
+	c := Codec{InterleaveDepth: 8}
+	payload := []byte("burst")
+	bits, _ := c.Encode(payload)
+	// A burst of 8 consecutive channel errors.
+	for i := 20; i < 28; i++ {
+		bits[i] ^= 1
+	}
+	got, _, err := c.Decode(bits)
+	if err != nil {
+		t.Fatalf("burst decode: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted by burst")
+	}
+}
+
+func TestCodecDetectsOverload(t *testing.T) {
+	c := Codec{}
+	payload := []byte("x")
+	bits, _ := c.Encode(payload)
+	// Two flips in one 7-bit block exceed Hamming's capacity; CRC must
+	// catch the miscorrection.
+	bits[0] ^= 1
+	bits[1] ^= 1
+	if _, st, err := c.Decode(bits); err == nil || st.CRCOK {
+		t.Fatal("double error per block not detected")
+	}
+}
+
+func TestCodecRejectsOversizedPayload(t *testing.T) {
+	c := Codec{}
+	if _, err := c.Encode(make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestCodecRejectsMalformedStreams(t *testing.T) {
+	c := Codec{}
+	if _, _, err := c.Decode(make([]byte, 6)); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	// Valid Hamming length but too few frame bytes.
+	if _, _, err := c.Decode(make([]byte, 14)); err == nil {
+		t.Fatal("tiny frame accepted")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	c := Codec{InterleaveDepth: 7}
+	f := func(payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		bits, err := c.Encode(payload)
+		if err != nil {
+			return false
+		}
+		got, st, err := c.Decode(bits)
+		return err == nil && st.CRCOK && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single bit flip anywhere in the encoded stream is
+// transparently corrected.
+func TestQuickSingleFlipAlwaysCorrected(t *testing.T) {
+	c := Codec{InterleaveDepth: 4}
+	f := func(payload []byte, flipPos uint16) bool {
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		bits, err := c.Encode(payload)
+		if err != nil {
+			return false
+		}
+		bits[int(flipPos)%len(bits)] ^= 1
+		got, _, err := c.Decode(bits)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

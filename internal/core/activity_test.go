@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+func TestInferActivityAccuracy(t *testing.T) {
+	res, err := InferActivity(DefaultOptions(37), 24, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.85 {
+		t.Fatalf("activity inference accuracy %.2f (quiet %.0f vs active %.0f)",
+			res.Accuracy, res.QuietMean, res.ActiveMean)
+	}
+	if res.ActiveMean <= res.QuietMean {
+		t.Fatalf("no contention signal: quiet %.0f vs active %.0f", res.QuietMean, res.ActiveMean)
+	}
+	t.Logf("activity inference: %.0f%% accuracy (quiet %.0f cyc, active %.0f cyc)",
+		100*res.Accuracy, res.QuietMean, res.ActiveMean)
+}
+
+func TestInferActivityValidation(t *testing.T) {
+	if _, err := InferActivity(DefaultOptions(38), 2, 100_000); err == nil {
+		t.Fatal("too few epochs accepted")
+	}
+}

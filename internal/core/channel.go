@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+
+	"meecc/internal/enclave"
+	"meecc/internal/platform"
+	"meecc/internal/sim"
+)
+
+// ChannelConfig parameterizes one covert-channel run (Algorithm 2).
+type ChannelConfig struct {
+	Options
+
+	// Window is Tsync, the per-bit timing window in cycles (the paper
+	// sweeps 5000..30000; 15000 is its sweet spot).
+	Window sim.Cycles
+	// Bits is the bit sequence the trojan transmits (values 0/1).
+	Bits []byte
+	// Index512 is the agreed index: which 512-byte unit within a 4 KB page
+	// both sides use (§5.3 — "any arbitrary index can be used").
+	Index512 int
+	// ProbePhase is the fraction of the window at which the spy probes;
+	// late enough that the trojan's ~9000-cycle eviction has finished.
+	ProbePhase float64
+	// TwoPhaseEviction selects the paper's forward+backward eviction; false
+	// degrades to a single forward pass (the ablation of §5.3's design
+	// choice under approximate-LRU replacement).
+	TwoPhaseEviction bool
+	// Repetition transmits each payload bit this many consecutive windows
+	// and majority-decodes on the spy side — a simple reliability layer on
+	// top of the paper's raw channel ("without any error handling").
+	// 0 or 1 means raw.
+	Repetition int
+	// Noise starts a background environment at transmission start.
+	Noise NoiseKind
+
+	// Core placement (defaults: trojan 0, spy 2, noise 1 — distinct
+	// physical cores, as in the paper's threat model).
+	TrojanCore, SpyCore, NoiseCore int
+
+	// Setup schedule (cycle budgets; defaults applied by RunChannel).
+	CalBudget    sim.Cycles // both sides calibrate thresholds
+	SetupBudget  sim.Cycles // trojan runs Algorithm 1
+	SearchBudget sim.Cycles // spy locates its monitor address
+
+	// onPlatform, when set (by in-package studies), is invoked after the
+	// attack actors are spawned with the platform and the transmission
+	// interval — e.g. to attach a detector.
+	onPlatform func(plat *platform.Platform, t0, tEnd sim.Cycles)
+}
+
+// DefaultChannelConfig returns the paper's operating point: 15000-cycle
+// window, alternating bits, two-phase eviction.
+func DefaultChannelConfig(seed uint64) ChannelConfig {
+	return ChannelConfig{
+		Options:          DefaultOptions(seed),
+		Window:           15000,
+		Bits:             AlternatingBits(30),
+		ProbePhase:       0.65,
+		TwoPhaseEviction: true,
+		TrojanCore:       0,
+		SpyCore:          2,
+		NoiseCore:        1,
+	}
+}
+
+func (c *ChannelConfig) applyDefaults() {
+	if c.Window <= 0 {
+		c.Window = 15000
+	}
+	if c.ProbePhase <= 0 || c.ProbePhase >= 1 {
+		c.ProbePhase = 0.65
+	}
+	if c.SpyCore == c.TrojanCore {
+		c.SpyCore = (c.TrojanCore + 2) % 4
+	}
+	if c.CalBudget <= 0 {
+		c.CalBudget = 2_000_000
+	}
+	if c.SetupBudget <= 0 {
+		c.SetupBudget = 60_000_000
+	}
+	if c.SearchBudget <= 0 {
+		c.SearchBudget = 14_000_000
+	}
+}
+
+// ChannelResult reports one covert-channel run.
+type ChannelResult struct {
+	Sent     []byte
+	Received []byte
+	// ProbeTimes are the spy's measured per-window probe latencies — the
+	// traces plotted in Figures 6(b) and 8.
+	ProbeTimes []sim.Cycles
+	// ErrorBits marks windows decoded incorrectly.
+	ErrorBits []int
+
+	SpyThreshold    sim.Cycles
+	EvictionSetSize int
+	MonitorScore    int
+	BitErrors       int
+	ErrorRate       float64
+	KBps            float64
+	SetupCycles     sim.Cycles
+	// Footprint is what a hardware-counter detector would see during the
+	// transmission phase (setup excluded) — see the stealth study.
+	Footprint *AttackFootprint
+}
+
+// AlternatingBits returns '0101...' of length n (Figure 6's sequence).
+func AlternatingBits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i % 2)
+	}
+	return out
+}
+
+// PatternBits repeats the given pattern string of '0'/'1' to n bits
+// (Figure 8 uses "100" repeated to 128 bits).
+func PatternBits(pattern string, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)] - '0'
+	}
+	return out
+}
+
+// RandomBits returns n seeded random bits (used by the Figure 7 sweep).
+func RandomBits(seed uint64, n int) []byte {
+	s := seed*0x9e3779b97f4a7c15 + 1
+	out := make([]byte, n)
+	for i := range out {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		out[i] = byte(s >> 63)
+	}
+	return out
+}
+
+// RunChannel executes one full covert-channel session: threshold
+// calibration on both sides, trojan eviction-set construction (Algorithm 1),
+// spy monitor-address discovery, then the Algorithm 2 transmission of
+// cfg.Bits. It returns the decoded sequence and channel statistics.
+func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
+	cfg.applyDefaults()
+	for _, b := range cfg.Bits {
+		if b > 1 {
+			return nil, fmt.Errorf("core: bits must be 0/1, got %d", b)
+		}
+	}
+	logical := cfg.Bits
+	rep := cfg.Repetition
+	if rep < 1 {
+		rep = 1
+	}
+	if rep > 1 {
+		expanded := make([]byte, 0, len(logical)*rep)
+		for _, b := range logical {
+			for r := 0; r < rep; r++ {
+				expanded = append(expanded, b)
+			}
+		}
+		cfg.Bits = expanded
+	}
+	plat := cfg.boot()
+	defer plat.Close()
+
+	// Agreed schedule (both sides know these offsets out of band).
+	tCalEnd := cfg.CalBudget
+	tSetupEnd := tCalEnd + cfg.SetupBudget
+	tSearchEnd := tSetupEnd + cfg.SearchBudget
+	t0 := tSearchEnd
+	tEnd := t0 + sim.Cycles(len(cfg.Bits))*cfg.Window
+
+	trojanProc := plat.NewProcess("trojan")
+	spyProc := plat.NewProcess("spy")
+	const calPages = 8
+	const trojanCandidates = 96
+	const spyCandidates = 24
+	if _, err := trojanProc.CreateEnclave(calPages + trojanCandidates); err != nil {
+		return nil, err
+	}
+	if _, err := spyProc.CreateEnclave(calPages + spyCandidates); err != nil {
+		return nil, err
+	}
+
+	res := &ChannelResult{Sent: cfg.Bits}
+	var trojanErr, spyErr error
+
+	// ------------------------------------------------------------------
+	// Trojan (Algorithm 2, sender side).
+	plat.SpawnThread("trojan", trojanProc, cfg.TrojanCore, func(th *platform.Thread) {
+		th.EnterEnclave()
+		base := trojanProc.Enclave().Base
+		threshold := calibrateThreshold(th, pageAddrs(base, calPages, cfg.Index512))
+		th.SpinUntil(tCalEnd)
+
+		cands := pageAddrs(base+enclave.VAddr(calPages*enclave.PageBytes), trojanCandidates, cfg.Index512)
+		a1, err := FindEvictionSet(th, cands, threshold)
+		if err != nil {
+			trojanErr = err
+			return
+		}
+		evSet := a1.EvictionSet
+		res.EvictionSetSize = len(evSet)
+		res.SetupCycles = th.Now()
+		if th.Now() > tSetupEnd {
+			trojanErr = fmt.Errorf("core: trojan setup overran its budget (%d > %d)", th.Now(), tSetupEnd)
+			return
+		}
+
+		evict := func() {
+			for i := 0; i < len(evSet); i++ { // forward phase
+				th.Access(evSet[i])
+				th.Flush(evSet[i])
+			}
+			th.Mfence()
+			if cfg.TwoPhaseEviction {
+				for i := len(evSet) - 1; i >= 0; i-- { // backward phase
+					th.Access(evSet[i])
+					th.Flush(evSet[i])
+				}
+				th.Mfence()
+			}
+		}
+
+		// Search phase: burst continuously so the spy can find which of
+		// its addresses conflicts with the eviction set.
+		th.SpinUntil(tSetupEnd)
+		for th.Now() < tSearchEnd-20_000 {
+			evict()
+			th.Spin(1000)
+		}
+
+		// Transmission (Algorithm 2, trojan's operation).
+		for i, bit := range cfg.Bits {
+			waitUntilTimer(th, t0+sim.Cycles(i)*cfg.Window)
+			if bit == 1 {
+				evict()
+			}
+			// '0': busy loop until the next window (the waitUntilTimer at
+			// the top of the loop).
+		}
+	})
+
+	// ------------------------------------------------------------------
+	// Spy (Algorithm 2, receiver side).
+	plat.SpawnThread("spy", spyProc, cfg.SpyCore, func(th *platform.Thread) {
+		th.EnterEnclave()
+		base := spyProc.Enclave().Base
+		// Calibrate in the second half of the calibration phase, staggered
+		// against the trojan so the two measurement loops don't contend.
+		th.SpinUntil(tCalEnd / 2)
+		threshold := calibrateThreshold(th, pageAddrs(base, calPages, cfg.Index512))
+		res.SpyThreshold = threshold
+		th.SpinUntil(tSetupEnd)
+
+		// Monitor discovery: sample each candidate while the trojan
+		// bursts; the address the bursts keep evicting is the monitor.
+		cands := pageAddrs(base+enclave.VAddr(calPages*enclave.PageBytes), spyCandidates, cfg.Index512)
+		const samples = 10
+		bestScore, monitor := -1, enclave.VAddr(0)
+		for _, cand := range cands {
+			score := 0
+			for s := 0; s < samples; s++ {
+				th.Access(cand)
+				th.Flush(cand)
+				th.SpinUntil(th.Now() + 40_000) // several burst periods
+				if timedAccess(th, cand) > threshold {
+					score++
+				}
+				th.Flush(cand)
+			}
+			if score > bestScore {
+				bestScore, monitor = score, cand
+			}
+		}
+		res.MonitorScore = bestScore
+		if bestScore < samples*6/10 {
+			spyErr = fmt.Errorf("core: monitor discovery failed (best score %d/%d)", bestScore, samples)
+			return
+		}
+		if th.Now() > t0 {
+			spyErr = fmt.Errorf("core: spy search overran its budget (%d > %d)", th.Now(), t0)
+			return
+		}
+
+		// Prime just before transmission starts (after the trojan's last
+		// search-phase burst), then decode each window (Algorithm 2, spy's
+		// operation). The probe itself re-primes after a miss.
+		waitUntilTimer(th, t0-5000)
+		th.Access(monitor)
+		th.Flush(monitor)
+		res.Received = make([]byte, len(cfg.Bits))
+		res.ProbeTimes = make([]sim.Cycles, len(cfg.Bits))
+		probeOffset := sim.Cycles(float64(cfg.Window) * cfg.ProbePhase)
+		for i := range cfg.Bits {
+			waitUntilTimer(th, t0+sim.Cycles(i)*cfg.Window+probeOffset)
+			t := timedAccess(th, monitor)
+			th.Flush(monitor)
+			res.ProbeTimes[i] = t
+			if t > threshold {
+				res.Received[i] = 1
+			}
+		}
+	})
+
+	if err := spawnNoise(plat, cfg.Noise, cfg.NoiseCore, t0); err != nil {
+		return nil, err
+	}
+	// Snapshot detector-visible statistics over the transmission phase.
+	plat.Engine().SpawnAt("stats-reset", t0-1, func(p *sim.Proc) {
+		plat.Caches().LLC().ResetStats()
+		plat.MEE().ResetStats()
+	})
+	if cfg.onPlatform != nil {
+		cfg.onPlatform(plat, t0, tEnd)
+	}
+
+	plat.Run(tEnd + cfg.Window)
+	res.Footprint = captureFootprint(plat)
+	if trojanErr != nil {
+		return res, trojanErr
+	}
+	if spyErr != nil {
+		return res, spyErr
+	}
+	if res.Received == nil {
+		return res, fmt.Errorf("core: spy never completed transmission")
+	}
+
+	if rep > 1 {
+		// Majority-decode each repetition group back to logical bits.
+		decoded := make([]byte, len(logical))
+		for i := range logical {
+			ones := 0
+			for r := 0; r < rep; r++ {
+				ones += int(res.Received[i*rep+r])
+			}
+			if ones*2 > rep {
+				decoded[i] = 1
+			}
+		}
+		res.Sent = logical
+		res.Received = decoded
+	}
+	for i := range res.Sent {
+		if res.Received[i] != res.Sent[i] {
+			res.BitErrors++
+			res.ErrorBits = append(res.ErrorBits, i)
+		}
+	}
+	res.ErrorRate = float64(res.BitErrors) / float64(len(res.Sent))
+	res.KBps = plat.WindowKBps(cfg.Window) / float64(rep)
+	return res, nil
+}

@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+func TestDetectionStudyOperationalizesStealth(t *testing.T) {
+	rows, err := DetectionStudy(DefaultOptions(91), 15000, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]DetectionRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	llc := byName["llc-prime-probe"]
+	mee := byName["mee-cache-channel"]
+	benign := byName["benign-memory-stress"]
+	if llc.AlarmRate < 0.5 {
+		t.Errorf("detector missed the LLC channel (alarm rate %.2f)", llc.AlarmRate)
+	}
+	if mee.AlarmRate > 0.05 {
+		t.Errorf("detector flagged the MEE channel (alarm rate %.2f, peak %.2f)", mee.AlarmRate, mee.PeakShare)
+	}
+	if benign.AlarmRate > 0.05 {
+		t.Errorf("detector false-alarmed on benign traffic (%.2f)", benign.AlarmRate)
+	}
+	t.Logf("alarm rates: llc=%.2f mee=%.2f benign=%.2f (peaks %.2f/%.2f/%.2f)",
+		llc.AlarmRate, mee.AlarmRate, benign.AlarmRate,
+		llc.PeakShare, mee.PeakShare, benign.PeakShare)
+}

@@ -1,0 +1,25 @@
+// Package core implements the paper's contribution: the MEE-cache covert
+// channel and the reverse-engineering procedures it is built on.
+//
+// The package is organized around the paper's sections:
+//
+//   - lab.go: experiment harness (platform boot options, in-enclave timing
+//     primitives built on the hyperthread timer of Figure 2(c));
+//   - algorithm1.go: eviction-address-set discovery (Algorithm 1, §4.2) and
+//     the eviction-test primitive it is built on;
+//   - reveng.go: MEE cache capacity measurement via candidate-address-set
+//     eviction probability (§4.1, Figure 4) and the combined
+//     reverse-engineering driver (capacity + associativity -> organization);
+//   - latency.go: protected-region access-latency characterization by
+//     integrity-tree hit level (§5.1, Figure 5);
+//   - primeprobe.go: the Prime+Probe baseline and why it fails on the MEE
+//     cache (§5.2, Figure 6a);
+//   - channel.go: the MEE-cache covert channel protocol (Algorithm 2, §5.3,
+//     Figure 6b) with trojan-side eviction-set construction and spy-side
+//     monitor-address discovery;
+//   - noise.go: the background-noise environments of §5.4 (Figure 8);
+//   - sweep.go: the bit-rate/error-rate trade-off sweep (§5.4, Figure 7);
+//   - mitigation.go: mitigation ablations extending §5.5.
+//
+// All experiments are deterministic for a fixed Options.Seed.
+package core

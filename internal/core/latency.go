@@ -1,0 +1,92 @@
+package core
+
+import (
+	"meecc/internal/enclave"
+	"meecc/internal/mee"
+	"meecc/internal/platform"
+	"meecc/internal/trace"
+)
+
+// LatencyResult is the Figure 5 dataset: the distribution of protected-
+// region main-memory access latencies, bucketed by the integrity-tree level
+// that hit in the MEE cache, plus the per-stride mode mixes.
+type LatencyResult struct {
+	// ByLevel histograms the measured latency of every sample that
+	// terminated at a given tree level.
+	ByLevel map[mee.HitLevel]*trace.Histogram
+	// ByStride counts, for each access stride, how many samples terminated
+	// at each level — the paper's observation that 64 B/512 B strides give
+	// versions/L0 hits while 4 KB+ strides climb the tree.
+	ByStride map[int]*[5]int
+	// Strides in measurement order.
+	Strides []int
+}
+
+// MeanLatency returns the mean measured latency for a hit level (0 if no
+// samples).
+func (r *LatencyResult) MeanLatency(h mee.HitLevel) float64 {
+	if hst := r.ByLevel[h]; hst != nil {
+		return hst.Mean()
+	}
+	return 0
+}
+
+// CharacterizeLatency reproduces §5.1: a single enclave thread sweeps its
+// protected buffer at strides of 64 B, 512 B, 4 KB, 32 KB and 256 KB,
+// flushing each line from the CPU caches so every access takes the
+// main-memory path, and times each access with the hyperthread timer. The
+// ground-truth hit level for each sample comes from the harness.
+func CharacterizeLatency(opts Options, samplesPerStride int) (*LatencyResult, error) {
+	strides := []int{64, 512, 4096, 32 << 10, 256 << 10}
+	plat := opts.boot()
+	defer plat.Close()
+
+	pr := plat.NewProcess("latency")
+	// Buffer: large enough that 256 KB stride gets samplesPerStride
+	// distinct addresses, capped by the EPC.
+	bufBytes := samplesPerStride * (256 << 10)
+	if max := 64 << 20; bufBytes > max {
+		bufBytes = max
+	}
+	pages := bufBytes / enclave.PageBytes
+	if _, err := pr.CreateEnclave(pages); err != nil {
+		return nil, err
+	}
+	base := pr.Enclave().Base
+
+	res := &LatencyResult{
+		ByLevel:  make(map[mee.HitLevel]*trace.Histogram),
+		ByStride: make(map[int]*[5]int),
+		Strides:  strides,
+	}
+	for h := mee.HitVersions; h <= mee.HitRoot; h++ {
+		res.ByLevel[h] = trace.NewHistogram(25)
+	}
+
+	plat.SpawnThread("latency", pr, 0, func(th *platform.Thread) {
+		th.EnterEnclave()
+		for _, stride := range strides {
+			counts := &[5]int{}
+			res.ByStride[stride] = counts
+			va := base
+			end := base + enclave.VAddr(bufBytes)
+			for s := 0; s < samplesPerStride; s++ {
+				t1 := th.TimerNow()
+				ar := th.Access(va)
+				t2 := th.TimerNow()
+				th.Flush(va)
+				if ar.WentToMEE {
+					measured := float64(t2 - t1 - enclave.TimerReadCycles)
+					res.ByLevel[ar.MEEHit].Add(measured)
+					counts[ar.MEEHit]++
+				}
+				va += enclave.VAddr(stride)
+				if va >= end {
+					va = base + enclave.VAddr(int(va-end)%stride)
+				}
+			}
+		}
+	})
+	plat.Run(-1)
+	return res, nil
+}

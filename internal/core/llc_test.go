@@ -1,0 +1,79 @@
+package core
+
+import "testing"
+
+func TestLLCChannelTransmits(t *testing.T) {
+	cfg := DefaultChannelConfig(81)
+	cfg.Window = 0 // take the LLC default (5000)
+	cfg.Bits = RandomBits(81, 128)
+	res, err := RunLLCChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorRate > 0.1 {
+		t.Fatalf("LLC channel error %.3f", res.ErrorRate)
+	}
+	// 5000-cycle windows at 4 GHz = 100 KBps: LLC channels outrun the MEE
+	// channel, as the paper concedes.
+	if res.KBps < 90 {
+		t.Fatalf("LLC channel rate %.1f KBps", res.KBps)
+	}
+}
+
+func TestLLCChannelFootprintIsConcentrated(t *testing.T) {
+	cfg := DefaultChannelConfig(82)
+	cfg.Bits = RandomBits(82, 128)
+	res, err := RunLLCChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := res.Footprint
+	if fp.LLCEvictions == 0 {
+		t.Fatal("no LLC evictions recorded")
+	}
+	// The P+P channel hammers one LLC set; a detector sees a white-hot set.
+	if fp.LLCHottestShare < 0.5 {
+		t.Fatalf("hottest LLC set share %.2f, expected concentration", fp.LLCHottestShare)
+	}
+	if fp.MEEReads != 0 {
+		t.Fatalf("LLC channel touched the MEE %d times", fp.MEEReads)
+	}
+}
+
+func TestStealthStudyContrast(t *testing.T) {
+	rows, err := StealthStudy(DefaultOptions(83), 15000, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var mee, llc StealthRow
+	for _, r := range rows {
+		switch r.Attack {
+		case "mee-cache-channel":
+			mee = r
+		case "llc-prime-probe":
+			llc = r
+		}
+	}
+	// The MEE channel's LLC evictions are scattered (its conflict set is
+	// in the MEE cache, and its data lines map to distant LLC sets); the
+	// LLC channel's are concentrated in one set.
+	if mee.LLCHottestShare >= llc.LLCHottestShare {
+		t.Fatalf("MEE channel LLC concentration %.2f not below P+P's %.2f",
+			mee.LLCHottestShare, llc.LLCHottestShare)
+	}
+	if llc.LLCHottestShare < 0.5 {
+		t.Fatalf("P+P concentration %.2f unexpectedly low", llc.LLCHottestShare)
+	}
+	if mee.LLCHottestShare > 0.2 {
+		t.Fatalf("MEE channel concentration %.2f unexpectedly high", mee.LLCHottestShare)
+	}
+	// And only the MEE channel generates MEE traffic.
+	if mee.MEEReadsPerBit == 0 || llc.MEEReadsPerBit != 0 {
+		t.Fatalf("MEE reads per bit: mee=%.1f llc=%.1f", mee.MEEReadsPerBit, llc.MEEReadsPerBit)
+	}
+	t.Logf("stealth: mee hottest=%.3f llc hottest=%.3f; mee evictions/bit=%.1f llc=%.1f",
+		mee.LLCHottestShare, llc.LLCHottestShare, mee.LLCEvictionsPerBit, llc.LLCEvictionsPerBit)
+}

@@ -1,0 +1,68 @@
+package core
+
+import "meecc/internal/sim"
+
+// MitigationResult reports how the channel fares against one MEE-cache
+// hardening variant — the quantitative extension of the §5.5 discussion.
+type MitigationResult struct {
+	Name string
+	// ErrorRate of the channel under this variant (1.0 if setup failed —
+	// a failed setup means the mitigation already defeated the attack).
+	ErrorRate float64
+	// SetupFailed reports that Algorithm 1 or monitor discovery broke.
+	SetupFailed bool
+	// Detail is the failure message when SetupFailed.
+	Detail string
+}
+
+// Defeated reports whether the variant pushed the channel past the
+// usefulness threshold (>25% raw error or broken setup).
+func (m MitigationResult) Defeated() bool {
+	return m.SetupFailed || m.ErrorRate > 0.25
+}
+
+// MitigationStudy runs the channel against a set of MEE-cache variants:
+//
+//   - baseline: LRU, the reverse-engineered organization;
+//   - tree-plru: path-based "approximate LRU" — shows how sensitive the
+//     two-phase eviction is to the replacement policy's recency fidelity;
+//   - random-replacement: the §5.5 candidate of replacement-policy
+//     randomization (SHARP-style);
+//   - noise-5pct / noise-20pct: random-eviction injection per access;
+//   - half-ways: a 4-way MEE cache (capacity/way reduction, a stand-in for
+//     way partitioning, which the paper notes cannot be applied directly
+//     because the integrity tree itself is shared).
+func MitigationStudy(opts Options, window sim.Cycles, nbits int) []MitigationResult {
+	variants := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"baseline", func(o *Options) {}},
+		{"tree-plru", func(o *Options) { o.MEEPolicy = "tree-plru" }},
+		{"random-replacement", func(o *Options) { o.MEEPolicy = "random" }},
+		{"noise-5pct", func(o *Options) { o.RandomEvictProb = 0.05 }},
+		{"noise-20pct", func(o *Options) { o.RandomEvictProb = 0.20 }},
+		{"half-ways", func(o *Options) { o.MEEWays = 4 }},
+	}
+	out := make([]MitigationResult, 0, len(variants))
+	for i, v := range variants {
+		o := opts
+		o.Seed = opts.Seed + uint64(i)*15485863
+		v.mod(&o)
+		cfg := DefaultChannelConfig(o.Seed)
+		cfg.Options = o
+		cfg.Window = window
+		cfg.Bits = RandomBits(o.Seed, nbits)
+		res, err := RunChannel(cfg)
+		mr := MitigationResult{Name: v.name}
+		if err != nil {
+			mr.SetupFailed = true
+			mr.ErrorRate = 1
+			mr.Detail = err.Error()
+		} else {
+			mr.ErrorRate = res.ErrorRate
+		}
+		out = append(out, mr)
+	}
+	return out
+}

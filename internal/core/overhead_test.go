@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+func TestMeasureOverheadShape(t *testing.T) {
+	rows, err := MeasureOverhead(DefaultOptions(29), nil, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		// Ordinary uncached reads cost roughly one DRAM access.
+		if r.PlainCycles < 250 || r.PlainCycles > 420 {
+			t.Errorf("ws %d: plain %.0f cycles", r.WorkingSetBytes, r.PlainCycles)
+		}
+		// Protected reads always pay the MEE pipeline on top.
+		if r.Slowdown() < 1.3 {
+			t.Errorf("ws %d: slowdown %.2f, protected reads should cost more", r.WorkingSetBytes, r.Slowdown())
+		}
+	}
+	// The slowdown grows once the working set's versions lines overflow
+	// the MEE cache (tree walks get deeper).
+	small, large := rows[0], rows[len(rows)-1]
+	if large.Slowdown() <= small.Slowdown() {
+		t.Errorf("slowdown not increasing with working set: %.2f (32KB) vs %.2f (16MB)",
+			small.Slowdown(), large.Slowdown())
+	}
+	t.Logf("overhead: 32KB %.2fx, 16MB %.2fx", small.Slowdown(), large.Slowdown())
+}

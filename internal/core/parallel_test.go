@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+func TestParallelChannelSingleLaneMatchesBaseline(t *testing.T) {
+	cfg := DefaultChannelConfig(71)
+	cfg.Bits = RandomBits(71, 64)
+	res, err := RunParallelChannel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorRate > 0.1 {
+		t.Fatalf("single-lane error %.3f", res.ErrorRate)
+	}
+	if res.KBps < 30 || res.KBps > 37 {
+		t.Fatalf("single-lane rate %.1f", res.KBps)
+	}
+}
+
+func TestParallelChannelTwoLanesDoubleRate(t *testing.T) {
+	cfg := DefaultChannelConfig(72)
+	cfg.Bits = RandomBits(72, 128)
+	res, err := RunParallelChannel(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KBps < 60 || res.KBps > 70 {
+		t.Fatalf("two-lane rate %.1f KBps, want ~66", res.KBps)
+	}
+	if res.ErrorRate > 0.12 {
+		t.Fatalf("two-lane error %.3f (lane errors %v, evsets %v)", res.ErrorRate, res.LaneErrors, res.EvictionSetSizes)
+	}
+	t.Logf("two lanes: %.1f KBps at %.2f%% error (lane errors %v)",
+		res.KBps, 100*res.ErrorRate, res.LaneErrors)
+}
+
+func TestParallelChannelValidation(t *testing.T) {
+	cfg := DefaultChannelConfig(73)
+	cfg.Bits = RandomBits(73, 63) // not a multiple of 2
+	if _, err := RunParallelChannel(cfg, 2); err == nil {
+		t.Fatal("odd bit count accepted for 2 lanes")
+	}
+	cfg.Bits = RandomBits(73, 64)
+	if _, err := RunParallelChannel(cfg, 3); err == nil {
+		t.Fatal("3 lanes accepted on a 4-core part")
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReliableTransferCleanPayload(t *testing.T) {
+	cfg := DefaultChannelConfig(404)
+	payload := []byte("AES-128 session key: 00112233445566778899aabbccddeeff")
+	res, err := RunReliable(cfg, payload)
+	if err != nil {
+		t.Fatalf("reliable transfer failed: %v (raw errors %d)", err, res.Channel.BitErrors)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatalf("payload corrupted: %q", res.Payload)
+	}
+	if !res.Stats.CRCOK {
+		t.Fatal("CRC not verified")
+	}
+	// The raw channel has a ~2% error floor, so over ~900 channel bits
+	// some corrections are expected — that is the point of the layer.
+	t.Logf("raw bit errors %d, FEC corrections %d, goodput %.1f KBps",
+		res.Channel.BitErrors, res.Stats.Corrections, res.GoodputKBps)
+	if res.GoodputKBps <= 0 || res.GoodputKBps >= res.Channel.KBps {
+		t.Fatalf("goodput %.1f vs raw %.1f: coding overhead not accounted", res.GoodputKBps, res.Channel.KBps)
+	}
+}
+
+func TestReliableTransferSurvivesMEENoise(t *testing.T) {
+	cfg := DefaultChannelConfig(405)
+	cfg.Noise = NoiseMEE512
+	payload := []byte("noisy but intact")
+	res, err := RunReliable(cfg, payload)
+	if err != nil {
+		// Under heavy noise the frame can exceed the code's capacity; a
+		// clean error (not silent corruption) is acceptable behavior.
+		t.Logf("transfer failed cleanly under noise: %v", err)
+		return
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("silent corruption under noise")
+	}
+}
+
+func TestReliableRejectsOversizedPayload(t *testing.T) {
+	cfg := DefaultChannelConfig(406)
+	if _, err := RunReliable(cfg, make([]byte, 300)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"meecc/internal/sim"
+)
+
+// SweepPoint is one Figure 7 point: the bit rate and error rate achieved at
+// a given timing-window size.
+type SweepPoint struct {
+	Window    sim.Cycles
+	KBps      float64
+	ErrorRate float64
+	BitErrors int
+	Bits      int
+	Err       error // non-nil if the run failed outright at this window
+}
+
+// PaperWindows are the window sizes of Figure 7.
+func PaperWindows() []sim.Cycles {
+	return []sim.Cycles{5000, 7500, 10000, 15000, 20000, 25000, 30000}
+}
+
+// WindowSweep reproduces Figure 7: run the channel at each window size with
+// a seeded random payload of nbits and report bit rate vs error rate. Each
+// window gets a distinct seed derivation so runs are independent.
+func WindowSweep(opts Options, windows []sim.Cycles, nbits int) []SweepPoint {
+	if len(windows) == 0 {
+		windows = PaperWindows()
+	}
+	out := make([]SweepPoint, 0, len(windows))
+	for i, w := range windows {
+		cfg := DefaultChannelConfig(opts.Seed + uint64(i)*7919)
+		cfg.Options = opts
+		cfg.Options.Seed = opts.Seed + uint64(i)*7919
+		cfg.Window = w
+		cfg.Bits = RandomBits(cfg.Options.Seed, nbits)
+		res, err := RunChannel(cfg)
+		pt := SweepPoint{Window: w, Bits: nbits, Err: err}
+		if err == nil {
+			pt.KBps = res.KBps
+			pt.ErrorRate = res.ErrorRate
+			pt.BitErrors = res.BitErrors
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// SweepStats aggregates one window size across independent seeds.
+type SweepStats struct {
+	Window    sim.Cycles
+	KBps      float64
+	MeanError float64
+	MinError  float64
+	MaxError  float64
+	Seeds     int
+	Failures  int // runs whose setup failed outright
+}
+
+// MultiSeedSweep runs WindowSweep over `seeds` independent seeds and
+// aggregates per-window error statistics — the error bars for Figure 7.
+func MultiSeedSweep(opts Options, windows []sim.Cycles, nbits, seeds int) []SweepStats {
+	if len(windows) == 0 {
+		windows = PaperWindows()
+	}
+	stats := make([]SweepStats, len(windows))
+	for i, w := range windows {
+		stats[i] = SweepStats{Window: w, MinError: 1}
+	}
+	for s := 0; s < seeds; s++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(s)*6700417
+		pts := WindowSweep(o, windows, nbits)
+		for i, p := range pts {
+			st := &stats[i]
+			st.Seeds++
+			if p.Err != nil {
+				st.Failures++
+				continue
+			}
+			st.KBps = p.KBps
+			st.MeanError += p.ErrorRate
+			if p.ErrorRate < st.MinError {
+				st.MinError = p.ErrorRate
+			}
+			if p.ErrorRate > st.MaxError {
+				st.MaxError = p.ErrorRate
+			}
+		}
+	}
+	for i := range stats {
+		if n := stats[i].Seeds - stats[i].Failures; n > 0 {
+			stats[i].MeanError /= float64(n)
+		}
+		if stats[i].MinError > stats[i].MaxError {
+			stats[i].MinError = stats[i].MaxError
+		}
+	}
+	return stats
+}
+
+// NoiseRun is one Figure 8 panel: the channel under a background
+// environment.
+type NoiseRun struct {
+	Kind   NoiseKind
+	Result *ChannelResult
+	Err    error
+}
+
+// NoiseStudy reproduces Figure 8: the trojan sends the '100100...' sequence
+// of nbits under each noise environment at the given window.
+func NoiseStudy(opts Options, window sim.Cycles, nbits int) []NoiseRun {
+	kinds := []NoiseKind{NoiseNone, NoiseMemory, NoiseMEE512, NoiseMEE4K}
+	out := make([]NoiseRun, 0, len(kinds))
+	for i, k := range kinds {
+		cfg := DefaultChannelConfig(opts.Seed + uint64(i)*104729)
+		cfg.Options = opts
+		cfg.Options.Seed = opts.Seed + uint64(i)*104729
+		cfg.Window = window
+		cfg.Bits = PatternBits("100", nbits)
+		cfg.Noise = k
+		res, err := RunChannel(cfg)
+		out = append(out, NoiseRun{Kind: k, Result: res, Err: err})
+	}
+	return out
+}

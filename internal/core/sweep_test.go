@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"meecc/internal/sim"
+)
+
+func TestMultiSeedSweepStatistics(t *testing.T) {
+	stats := MultiSeedSweep(DefaultOptions(1), []sim.Cycles{7500, 15000}, 96, 3)
+	if len(stats) != 2 {
+		t.Fatalf("stats %d", len(stats))
+	}
+	knee, sweet := stats[0], stats[1]
+	if knee.Seeds != 3 || sweet.Seeds != 3 {
+		t.Fatalf("seed counts %d/%d", knee.Seeds, sweet.Seeds)
+	}
+	if knee.MeanError < 2*sweet.MeanError {
+		t.Errorf("no knee across seeds: 7500 mean %.3f vs 15000 mean %.3f",
+			knee.MeanError, sweet.MeanError)
+	}
+	if sweet.MinError > sweet.MaxError {
+		t.Errorf("min %.3f > max %.3f", sweet.MinError, sweet.MaxError)
+	}
+	if sweet.KBps < 30 || sweet.KBps > 37 {
+		t.Errorf("15000 KBps %.1f", sweet.KBps)
+	}
+	t.Logf("err@7500 %.3f [%.3f,%.3f]; err@15000 %.3f [%.3f,%.3f]",
+		knee.MeanError, knee.MinError, knee.MaxError,
+		sweet.MeanError, sweet.MinError, sweet.MaxError)
+}

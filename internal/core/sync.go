@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"meecc/internal/enclave"
+	"meecc/internal/platform"
+	"meecc/internal/sim"
+)
+
+// In-band synchronization: the base protocol assumes trojan and spy agree
+// on the transmission start out of band. This extension drops that
+// assumption for the data phase. The trojan starts at a time of its own
+// choosing and repeats a framed transmission (alternating preamble, sync
+// word, payload) three times; the spy detects activity from eviction
+// events, then tries one probe phase per repetition — sweeping the window
+// in thirds — until the frame decodes. Phase sweeping is necessary because
+// a probe landing inside the trojan's ~9600-cycle eviction pass re-primes
+// the monitor mid-pass and corrupts pattern-dependent decoding; one of
+// three phases a third of a window apart is always clear of the pass.
+
+// syncWord is the frame delimiter ('11100010'): it contains runs the
+// alternating preamble cannot produce.
+var syncWord = []byte{1, 1, 1, 0, 0, 0, 1, 0}
+
+// preambleBits is the number of alternating bits ('10' repeated) prepended.
+const preambleBits = 24
+
+// frameRepeats is how many times the trojan sends the frame.
+const frameRepeats = 3
+
+// InBandResult reports a transfer with in-band synchronization.
+type InBandResult struct {
+	Sent     []byte
+	Received []byte
+	// Attempt is the phase-sweep attempt (0-2) that locked.
+	Attempt int
+	// SyncFound reports whether the sync word was located.
+	SyncFound bool
+	// Events is the number of acquisition eviction events observed.
+	Events    int
+	BitErrors int
+	ErrorRate float64
+	// KBps is the effective payload rate including framing and repetition
+	// overhead.
+	KBps float64
+}
+
+// RunInBandChannel is RunChannel without an agreed transmission start: the
+// trojan begins at a start time of its own choosing (derived from its
+// seed) and the spy synchronizes from the signal itself.
+func RunInBandChannel(cfg ChannelConfig) (*InBandResult, error) {
+	cfg.applyDefaults()
+	for _, b := range cfg.Bits {
+		if b > 1 {
+			return nil, fmt.Errorf("core: bits must be 0/1, got %d", b)
+		}
+	}
+	plat := cfg.boot()
+	defer plat.Close()
+
+	tCalEnd := cfg.CalBudget
+	tSetupEnd := tCalEnd + cfg.SetupBudget
+	tSearchEnd := tSetupEnd + cfg.SearchBudget
+	// The trojan picks its own start; the spy knows only "after the
+	// search phase, eventually".
+	trojanStart := tSearchEnd + sim.Cycles(150_000+int64(cfg.Options.Seed%7)*33_000)
+
+	frame := make([]byte, 0, preambleBits+len(syncWord)+len(cfg.Bits))
+	for i := 0; i < preambleBits; i++ {
+		frame = append(frame, byte((i+1)%2)) // 1,0,1,0,...
+	}
+	frame = append(frame, syncWord...)
+	frame = append(frame, cfg.Bits...)
+	totalWindows := frameRepeats*len(frame) + 12
+	tEnd := trojanStart + sim.Cycles(totalWindows+4)*cfg.Window
+
+	trojanProc := plat.NewProcess("ib-trojan")
+	spyProc := plat.NewProcess("ib-spy")
+	const calPages = 8
+	const trojanCandidates = 96
+	const spyCandidates = 24
+	if _, err := trojanProc.CreateEnclave(calPages + trojanCandidates); err != nil {
+		return nil, err
+	}
+	if _, err := spyProc.CreateEnclave(calPages + spyCandidates); err != nil {
+		return nil, err
+	}
+
+	res := &InBandResult{Sent: cfg.Bits}
+	var trojanErr, spyErr error
+
+	plat.SpawnThread("ib-trojan", trojanProc, cfg.TrojanCore, func(th *platform.Thread) {
+		th.EnterEnclave()
+		base := trojanProc.Enclave().Base
+		threshold := calibrateThreshold(th, pageAddrs(base, calPages, cfg.Index512))
+		th.SpinUntil(tCalEnd)
+		cands := pageAddrs(base+enclave.VAddr(calPages*enclave.PageBytes), trojanCandidates, cfg.Index512)
+		a1, err := FindEvictionSet(th, cands, threshold)
+		if err != nil {
+			trojanErr = err
+			return
+		}
+		evSet := a1.EvictionSet
+		evict := func() {
+			for i := 0; i < len(evSet); i++ {
+				th.Access(evSet[i])
+				th.Flush(evSet[i])
+			}
+			th.Mfence()
+			for i := len(evSet) - 1; i >= 0; i-- {
+				th.Access(evSet[i])
+				th.Flush(evSet[i])
+			}
+			th.Mfence()
+		}
+		th.SpinUntil(tSetupEnd)
+		for th.Now() < tSearchEnd-20_000 {
+			evict()
+			th.Spin(1000)
+		}
+		// Transmit the frame three times back to back.
+		for w := 0; w < frameRepeats*len(frame); w++ {
+			waitUntilTimer(th, trojanStart+sim.Cycles(w)*cfg.Window)
+			if frame[w%len(frame)] == 1 {
+				evict()
+			}
+		}
+	})
+
+	plat.SpawnThread("ib-spy", spyProc, cfg.SpyCore, func(th *platform.Thread) {
+		th.EnterEnclave()
+		base := spyProc.Enclave().Base
+		th.SpinUntil(tCalEnd / 2)
+		threshold := calibrateThreshold(th, pageAddrs(base, calPages, cfg.Index512))
+		th.SpinUntil(tSetupEnd)
+
+		cands := pageAddrs(base+enclave.VAddr(calPages*enclave.PageBytes), spyCandidates, cfg.Index512)
+		const samples = 10
+		bestScore, monitor := -1, enclave.VAddr(0)
+		for _, cand := range cands {
+			score := 0
+			for s := 0; s < samples; s++ {
+				th.Access(cand)
+				th.Flush(cand)
+				th.SpinUntil(th.Now() + 40_000)
+				if timedAccess(th, cand) > threshold {
+					score++
+				}
+				th.Flush(cand)
+			}
+			if score > bestScore {
+				bestScore, monitor = score, cand
+			}
+		}
+		if bestScore < samples*6/10 {
+			spyErr = fmt.Errorf("core: in-band monitor discovery failed (%d/%d)", bestScore, samples)
+			return
+		}
+
+		// Acquisition: from the (agreed) end of the setup schedule, poll
+		// slowly until evictions start appearing — transmission has begun.
+		// Slow polling matters: re-priming the monitor mid-pass would
+		// suppress the very evictions being watched for.
+		waitUntilTimer(th, tSearchEnd)
+		th.Access(monitor)
+		th.Flush(monitor)
+		var firstEvent sim.Cycles
+		acqDeadline := trojanStart + sim.Cycles(preambleBits/2)*cfg.Window
+		events := 0
+		for th.TimerNow() < acqDeadline {
+			t := timedAccess(th, monitor)
+			th.Flush(monitor)
+			if t > threshold && t < threshold+400 {
+				events++
+				if events >= 2 { // one spike can fake a single event
+					firstEvent = th.TimerNow()
+					break
+				}
+			}
+			th.Spin(2 * cfg.Window / 3)
+		}
+		if firstEvent == 0 {
+			spyErr = fmt.Errorf("core: in-band acquisition saw no transmission")
+			return
+		}
+		res.Events = events
+
+		// Phase sweep: one attempt per frame repetition, probing a third
+		// of a window later each time. Decode a frame's worth of windows
+		// and look for the sync word with the payload fully inside.
+		for attempt := 0; attempt < frameRepeats; attempt++ {
+			off := sim.Cycles(attempt) * cfg.Window / 3
+			start := firstEvent + sim.Cycles(attempt*len(frame))*cfg.Window
+			decoded := make([]byte, 0, len(frame))
+			for k := 0; k < len(frame); k++ {
+				waitUntilTimer(th, start+sim.Cycles(k)*cfg.Window+off)
+				t := timedAccess(th, monitor)
+				th.Flush(monitor)
+				if t > threshold {
+					decoded = append(decoded, 1)
+				} else {
+					decoded = append(decoded, 0)
+				}
+			}
+			for i := 0; i+len(cfg.Bits)+len(syncWord) <= len(decoded); i++ {
+				match := true
+				for j, b := range syncWord {
+					if decoded[i+j] != b {
+						match = false
+						break
+					}
+				}
+				if match {
+					res.SyncFound = true
+					res.Attempt = attempt
+					res.Received = decoded[i+len(syncWord) : i+len(syncWord)+len(cfg.Bits)]
+					break
+				}
+			}
+			if res.SyncFound {
+				break
+			}
+		}
+		if !res.SyncFound {
+			spyErr = fmt.Errorf("core: sync word not found in %d phase attempts", frameRepeats)
+		}
+	})
+
+	plat.Run(tEnd + 4_000_000)
+	if trojanErr != nil {
+		return res, trojanErr
+	}
+	if spyErr != nil {
+		return res, spyErr
+	}
+	for i := range res.Sent {
+		if res.Received[i] != res.Sent[i] {
+			res.BitErrors++
+		}
+	}
+	res.ErrorRate = float64(res.BitErrors) / float64(len(res.Sent))
+	// Effective rate includes the framing and repetition cost.
+	res.KBps = plat.WindowKBps(cfg.Window) * float64(len(cfg.Bits)) /
+		float64((res.Attempt+1)*len(frame))
+	return res, nil
+}

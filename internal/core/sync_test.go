@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+func TestInBandChannelSynchronizes(t *testing.T) {
+	cfg := DefaultChannelConfig(61)
+	cfg.Bits = RandomBits(61, 64)
+	res, err := RunInBandChannel(cfg)
+	if err != nil {
+		t.Fatalf("%v (events=%d attempt=%d)", err, res.Events, res.Attempt)
+	}
+	if !res.SyncFound {
+		t.Fatal("sync word not found")
+	}
+	if res.ErrorRate > 0.1 {
+		t.Fatalf("in-band error rate %.3f", res.ErrorRate)
+	}
+	t.Logf("in-band sync: locked on attempt %d, %d bit errors, %.1f KBps effective",
+		res.Attempt, res.BitErrors, res.KBps)
+}
+
+func TestInBandChannelAcrossSeeds(t *testing.T) {
+	// The trojan's start offset varies by seed; synchronization must not
+	// depend on any particular phase.
+	ok := 0
+	for seed := uint64(62); seed < 67; seed++ {
+		cfg := DefaultChannelConfig(seed)
+		cfg.Bits = RandomBits(seed, 32)
+		res, err := RunInBandChannel(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v (events=%d)", seed, err, res.Events)
+			continue
+		}
+		if res.SyncFound && res.ErrorRate <= 0.15 {
+			ok++
+		}
+	}
+	if ok < 4 {
+		t.Fatalf("in-band sync succeeded for only %d/5 seeds", ok)
+	}
+}

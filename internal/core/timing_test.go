@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+func TestTimingStudyReproducesSection3(t *testing.T) {
+	results, err := TimingStudy(DefaultOptions(23), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TimingMechanismResult{}
+	for _, r := range results {
+		byName[r.Mechanism] = r
+	}
+
+	if byName["rdtsc"].AvailableInEnclave {
+		t.Error("rdtsc must be unavailable in SGX1 enclave mode")
+	}
+
+	oc := byName["ocall-rdtsc"]
+	// Each reading pays one OCALL round trip on both sides; the net
+	// overhead of a measurement is ~one mean OCALL (t1's staleness and
+	// t2's lead cancel to roughly a full call), i.e. in the paper's
+	// 8000–15000 band.
+	if oc.MeanOverhead < 7000 || oc.MeanOverhead > 16000 {
+		t.Errorf("OCALL overhead %.0f outside the paper's 8000-15000 band", oc.MeanOverhead)
+	}
+	if oc.Usable() {
+		t.Error("OCALL-based timing must not resolve a 300-cycle signal")
+	}
+
+	ht := byName["hyperthread-timer"]
+	if ht.MeanOverhead < 20 || ht.MeanOverhead > 120 {
+		t.Errorf("hyperthread-timer overhead %.0f, paper: ~50 cycles", ht.MeanOverhead)
+	}
+	if !ht.Usable() {
+		t.Errorf("hyperthread timer must be usable (sd=%.0f)", ht.StdDev)
+	}
+
+	// The explicit timer-thread actor must behave like the analytic model:
+	// tens of cycles of overhead, resolution well under the signal.
+	actor := byName["hyperthread-timer-actor"]
+	if actor.Samples == 0 {
+		t.Fatal("timer-thread actor took no samples")
+	}
+	if actor.MeanOverhead < 10 || actor.MeanOverhead > 200 {
+		t.Errorf("timer-thread actor overhead %.0f cycles", actor.MeanOverhead)
+	}
+	if !actor.Usable() {
+		t.Errorf("timer-thread actor unusable (sd=%.0f)", actor.StdDev)
+	}
+}

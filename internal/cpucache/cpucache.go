@@ -1,0 +1,263 @@
+// Package cpucache models the on-chip CPU cache hierarchy: per-core L1D and
+// L2 plus a shared, inclusive last-level cache. The covert channel needs it
+// for two reasons: enclave lines that hit in these caches never reach the
+// MEE (challenge 1 in Section 3 of the paper), and clflush — which evicts a
+// line from every level but does NOT touch the MEE cache — is what forces
+// every probe to take the main-memory path.
+//
+// Functionally, the hierarchy keeps a plaintext mirror of every resident
+// line; protected-region lines are decrypted by the MEE on fill and
+// re-encrypted on dirty writeback, so DRAM only ever holds ciphertext for
+// the protected region.
+package cpucache
+
+import (
+	"fmt"
+
+	"meecc/internal/cache"
+	"meecc/internal/dram"
+	"meecc/internal/sim"
+)
+
+// Level identifies where an access hit.
+type Level int
+
+const (
+	HitL1 Level = iota
+	HitL2
+	HitLLC
+	Miss
+)
+
+func (l Level) String() string {
+	switch l {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitLLC:
+		return "LLC"
+	default:
+		return "miss"
+	}
+}
+
+// Config describes the hierarchy's geometry and latencies (cycles). The
+// defaults model the paper's i7-6700K (Skylake): 32 KB 8-way L1D, 256 KB
+// 4-way L2, 8 MB 16-way shared inclusive LLC.
+type Config struct {
+	Cores   int
+	L1Sets  int
+	L1Ways  int
+	L2Sets  int
+	L2Ways  int
+	LLCSets int
+	LLCWays int
+
+	L1Lat    float64
+	L2Lat    float64
+	LLCLat   float64
+	MissLat  float64 // traversal cost charged before the memory system takes over
+	FlushLat float64 // clflush cost as observed by the issuing core
+}
+
+// DefaultConfig returns the Skylake-like geometry for the given core count.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:  cores,
+		L1Sets: 64, L1Ways: 8,
+		L2Sets: 1024, L2Ways: 4,
+		LLCSets: 8192, LLCWays: 16,
+		L1Lat: 4, L2Lat: 14, LLCLat: 42, MissLat: 50, FlushLat: 35,
+	}
+}
+
+// Victim is a line leaving the hierarchy toward memory.
+type Victim struct {
+	Addr  dram.Addr
+	Data  [dram.LineSize]byte
+	Dirty bool
+}
+
+type lineBuf struct {
+	data  [dram.LineSize]byte
+	dirty bool
+}
+
+// Hierarchy is the multi-core cache stack. Not safe for concurrent use; the
+// simulation engine serializes all actors.
+type Hierarchy struct {
+	cfg Config
+	l1  []*cache.Cache
+	l2  []*cache.Cache
+	llc *cache.Cache
+	// bufs mirrors plaintext content and dirtiness of every LLC-resident
+	// line (inclusive LLC means LLC residency == hierarchy residency).
+	bufs map[dram.Addr]*lineBuf
+}
+
+// New builds the hierarchy; policy applies to all levels (LRU by default in
+// the platform).
+func New(cfg Config, policy cache.Policy) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("cpucache: invalid core count %d", cfg.Cores))
+	}
+	h := &Hierarchy{
+		cfg:  cfg,
+		llc:  cache.New("llc", cfg.LLCSets, cfg.LLCWays, policy),
+		bufs: make(map[dram.Addr]*lineBuf),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1 = append(h.l1, cache.New(fmt.Sprintf("l1d-%d", c), cfg.L1Sets, cfg.L1Ways, policy))
+		h.l2 = append(h.l2, cache.New(fmt.Sprintf("l2-%d", c), cfg.L2Sets, cfg.L2Ways, policy))
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// LLC exposes the shared cache for statistics and tests.
+func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
+
+// L1 exposes a core's L1D for tests.
+func (h *Hierarchy) L1(core int) *cache.Cache { return h.l1[core] }
+
+func lineAddr(addr dram.Addr) dram.Addr { return addr &^ (dram.LineSize - 1) }
+
+func (h *Hierarchy) set(c *cache.Cache, addr dram.Addr) int {
+	return int((uint64(addr) / dram.LineSize) % uint64(c.Sets()))
+}
+
+func (h *Hierarchy) tag(addr dram.Addr) cache.Tag {
+	return cache.Tag(uint64(addr) / dram.LineSize)
+}
+
+// Access looks addr up for core. On any hit it refreshes the line into the
+// upper levels, applies the write (marking the line dirty), and returns the
+// hit level plus lookup latency. On a miss it returns (Miss, MissLat); the
+// caller must fetch the line from the memory system and call Fill.
+//
+// Writes invalidate the line from every other core's private caches
+// (MESI-style write-invalidate), so a reader on another core re-fetches
+// from the LLC — the timing that makes the Figure 2(c) hyperthread timer
+// cost its ~50 cycles per read.
+func (h *Hierarchy) Access(core int, addr dram.Addr, write bool) (Level, sim.Cycles) {
+	addr = lineAddr(addr)
+	tag := h.tag(addr)
+	lvl := Miss
+	var lat sim.Cycles
+	switch {
+	case h.l1[core].Lookup(h.set(h.l1[core], addr), tag):
+		h.touchShared(core, addr) // keep L2/LLC recency in sync
+		lvl, lat = HitL1, sim.Cycles(h.cfg.L1Lat)
+	case h.l2[core].Lookup(h.set(h.l2[core], addr), tag):
+		h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
+		h.llc.Lookup(h.set(h.llc, addr), tag)
+		lvl, lat = HitL2, sim.Cycles(h.cfg.L2Lat)
+	case h.llc.Lookup(h.set(h.llc, addr), tag):
+		h.l2[core].Insert(h.set(h.l2[core], addr), tag, false)
+		h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
+		lvl, lat = HitLLC, sim.Cycles(h.cfg.LLCLat)
+	default:
+		return Miss, sim.Cycles(h.cfg.MissLat)
+	}
+	if write {
+		h.markDirty(addr, true)
+		h.invalidateOthers(core, addr)
+	}
+	return lvl, lat
+}
+
+// invalidateOthers drops the line from every core's private caches except
+// the writer's; the line stays in the shared LLC.
+func (h *Hierarchy) invalidateOthers(writer int, addr dram.Addr) {
+	tag := h.tag(addr)
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == writer {
+			continue
+		}
+		h.l1[c].Invalidate(h.set(h.l1[c], addr), tag)
+		h.l2[c].Invalidate(h.set(h.l2[c], addr), tag)
+	}
+}
+
+func (h *Hierarchy) touchShared(core int, addr dram.Addr) {
+	tag := h.tag(addr)
+	h.l2[core].Lookup(h.set(h.l2[core], addr), tag)
+	h.llc.Lookup(h.set(h.llc, addr), tag)
+}
+
+func (h *Hierarchy) markDirty(addr dram.Addr, write bool) {
+	if !write {
+		return
+	}
+	if b := h.bufs[addr]; b != nil {
+		b.dirty = true
+	}
+}
+
+// Data returns the plaintext view of a resident line, or nil if the line is
+// not cached. The returned slice aliases internal state; writes through it
+// must be paired with a write Access so dirtiness is tracked.
+func (h *Hierarchy) Data(addr dram.Addr) *[dram.LineSize]byte {
+	if b := h.bufs[lineAddr(addr)]; b != nil {
+		return &b.data
+	}
+	return nil
+}
+
+// Fill installs a line fetched from the memory system into all three levels
+// for core, returning any LLC victim that must be written back to memory.
+// Inclusive-LLC semantics: the victim is back-invalidated from every core's
+// private caches.
+func (h *Hierarchy) Fill(core int, addr dram.Addr, data [dram.LineSize]byte, dirty bool) *Victim {
+	addr = lineAddr(addr)
+	tag := h.tag(addr)
+	var victim *Victim
+	ev := h.llc.Insert(h.set(h.llc, addr), tag, false)
+	if ev.Valid {
+		evAddr := dram.Addr(uint64(ev.Tag) * dram.LineSize)
+		victim = h.dropLine(evAddr)
+	}
+	h.l2[core].Insert(h.set(h.l2[core], addr), tag, false)
+	h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
+	h.bufs[addr] = &lineBuf{data: data, dirty: dirty}
+	return victim
+}
+
+// dropLine removes a line everywhere and returns it as a Victim (nil if the
+// line had no buffer, which cannot happen in a consistent hierarchy).
+func (h *Hierarchy) dropLine(addr dram.Addr) *Victim {
+	tag := h.tag(addr)
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1[c].Invalidate(h.set(h.l1[c], addr), tag)
+		h.l2[c].Invalidate(h.set(h.l2[c], addr), tag)
+	}
+	h.llc.Invalidate(h.set(h.llc, addr), tag)
+	b := h.bufs[addr]
+	delete(h.bufs, addr)
+	if b == nil {
+		return nil
+	}
+	return &Victim{Addr: addr, Data: b.data, Dirty: b.dirty}
+}
+
+// Flush implements clflush: the line is invalidated from every level of
+// every core. It returns the victim (nil if the line was not cached) and
+// the latency charged to the issuing core. The MEE cache is unaffected —
+// that asymmetry is the paper's challenge 1.
+func (h *Hierarchy) Flush(addr dram.Addr) (*Victim, sim.Cycles) {
+	addr = lineAddr(addr)
+	lat := sim.Cycles(h.cfg.FlushLat)
+	if _, ok := h.bufs[addr]; !ok {
+		return nil, lat
+	}
+	return h.dropLine(addr), lat
+}
+
+// Resident reports whether addr's line is anywhere in the hierarchy.
+func (h *Hierarchy) Resident(addr dram.Addr) bool {
+	_, ok := h.bufs[lineAddr(addr)]
+	return ok
+}

@@ -1,0 +1,74 @@
+package detect
+
+import (
+	"testing"
+
+	"meecc/internal/cache"
+)
+
+func newLLC() *cache.Cache { return cache.New("llc", 64, 4, cache.NewLRU()) }
+
+func TestMonitorAlarmsOnConcentration(t *testing.T) {
+	c := newLLC()
+	cfg := Config{MinEvictions: 16, HotShare: 0.5}
+	m := NewMonitor(cfg, c)
+	// Hammer set 3: stride = sets*64 so every address maps to set 3.
+	for i := 0; i < 40; i++ {
+		c.Insert(3, cache.Tag(i*64+3), false)
+	}
+	if !m.Sample() {
+		t.Fatal("no alarm on single-set hammering")
+	}
+	if m.HotSet != 3 {
+		t.Fatalf("hot set %d, want 3", m.HotSet)
+	}
+	if m.PeakShare < 0.9 {
+		t.Fatalf("peak share %.2f", m.PeakShare)
+	}
+}
+
+func TestMonitorQuietOnSpreadTraffic(t *testing.T) {
+	c := newLLC()
+	m := NewMonitor(Config{MinEvictions: 16, HotShare: 0.5}, c)
+	// Fill every set beyond capacity uniformly.
+	for round := 0; round < 8; round++ {
+		for s := 0; s < 64; s++ {
+			c.Insert(s, cache.Tag(round*10000+s), false)
+		}
+	}
+	if m.Sample() {
+		t.Fatal("alarm on uniform traffic")
+	}
+}
+
+func TestMonitorIgnoresIdleWindows(t *testing.T) {
+	c := newLLC()
+	m := NewMonitor(Config{MinEvictions: 16, HotShare: 0.5}, c)
+	// A couple of evictions in one set, but below MinEvictions.
+	for i := 0; i < 6; i++ {
+		c.Insert(0, cache.Tag(i), false)
+	}
+	if m.Sample() {
+		t.Fatal("alarm on idle window")
+	}
+	if m.Windows != 1 {
+		t.Fatalf("windows %d", m.Windows)
+	}
+}
+
+func TestMonitorWindowsAreDeltas(t *testing.T) {
+	c := newLLC()
+	m := NewMonitor(Config{MinEvictions: 16, HotShare: 0.5}, c)
+	for i := 0; i < 40; i++ {
+		c.Insert(3, cache.Tag(i*64+3), false)
+	}
+	m.Sample() // consumes the burst
+	// Nothing new: second window must be quiet even though cumulative
+	// counters are high.
+	if m.Sample() {
+		t.Fatal("alarm repeated without new evictions")
+	}
+	if got := m.AlarmRate(); got != 0.5 {
+		t.Fatalf("alarm rate %.2f, want 0.5", got)
+	}
+}

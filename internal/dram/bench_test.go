@@ -1,0 +1,31 @@
+package dram
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"meecc/internal/sim"
+)
+
+func BenchmarkAccessTiming(b *testing.B) {
+	d := New(DefaultConfig())
+	rng := rand.New(rand.NewPCG(1, 2))
+	now := sim.Cycles(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += 1000
+		d.Access(now, rng, Addr((i%100000)*64), false)
+	}
+}
+
+func BenchmarkLineReadWrite(b *testing.B) {
+	d := New(DefaultConfig())
+	var line [LineSize]byte
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := Addr((i % 4096) * 64)
+		d.WriteLine(addr, line)
+		line = d.ReadLine(addr)
+	}
+}

@@ -1,0 +1,212 @@
+// Package dram models main memory: a sparse byte-addressable backing store
+// plus a bank/row-buffer timing model with seeded jitter. The memory
+// controller's queueing behaviour is represented by per-bank busy-until
+// resources, so concurrent actors experience realistic contention.
+package dram
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"meecc/internal/sim"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// LineSize is the cache-line granularity used throughout the simulator.
+const LineSize = 64
+
+// pageBytes is the allocation granularity of the sparse backing store.
+const pageBytes = 4096
+
+// Config describes DRAM geometry and timing. All latencies are in CPU
+// cycles as seen from the core (they fold in the on-chip traversal after an
+// LLC miss, which is why they are larger than raw DRAM timings).
+type Config struct {
+	Size        uint64  // total physical bytes
+	Banks       int     // number of independent banks
+	RowBytes    uint64  // row-buffer size per bank
+	RowHitLat   float64 // mean cycles for an open-row access
+	RowMissLat  float64 // mean cycles for a row conflict/closed-row access
+	JitterSigma float64 // gaussian latency jitter (cycles)
+	WriteExtra  float64 // additional mean cycles for writes
+
+	// ClosedPage selects a closed-page controller policy: rows are
+	// precharged after every access, so every access pays the activation
+	// (RowMissLat) but never a conflict. Open-page (default) keeps rows
+	// open and wins under spatial locality.
+	ClosedPage bool
+	// RefreshInterval, when positive, stalls a bank for RefreshPenalty
+	// cycles once per interval (per bank, staggered) — the periodic
+	// all-bank refresh of real DRAM and a natural source of rare latency
+	// outliers. Zero disables refresh modeling.
+	RefreshInterval float64
+	RefreshPenalty  float64
+}
+
+// DefaultConfig mirrors the paper's testbed scale: 32 GB of DRAM behind a
+// Skylake-class memory controller, calibrated so an independent cache-line
+// read costs ~250 cycles end to end.
+func DefaultConfig() Config {
+	return Config{
+		Size:        32 << 30,
+		Banks:       16,
+		RowBytes:    8192,
+		RowHitLat:   215,
+		RowMissLat:  265,
+		JitterSigma: 10,
+		WriteExtra:  10,
+	}
+}
+
+// Stats counts DRAM events.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	Refreshes uint64
+	StallCyc  sim.Cycles
+}
+
+// DRAM is the main-memory model. Not safe for concurrent use (the simulation
+// engine serializes actors).
+type DRAM struct {
+	cfg         Config
+	pages       map[Addr]*[pageBytes]byte
+	openRow     []int64 // per-bank open row, -1 = closed
+	banks       []sim.Resource
+	refreshedAt []int64 // per-bank refresh epoch counter
+	stats       Stats
+}
+
+// New builds a DRAM from cfg, validating geometry.
+func New(cfg Config) *DRAM {
+	if cfg.Size == 0 || cfg.Banks <= 0 || cfg.RowBytes == 0 {
+		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+	}
+	d := &DRAM{
+		cfg:         cfg,
+		pages:       make(map[Addr]*[pageBytes]byte),
+		openRow:     make([]int64, cfg.Banks),
+		banks:       make([]sim.Resource, cfg.Banks),
+		refreshedAt: make([]int64, cfg.Banks),
+	}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d
+}
+
+// Config returns the DRAM configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Size returns the total physical capacity in bytes.
+func (d *DRAM) Size() uint64 { return d.cfg.Size }
+
+// bankAndRow maps an address onto its bank and row (row interleaving across
+// banks at row granularity).
+func (d *DRAM) bankAndRow(addr Addr) (bank int, row int64) {
+	rowIdx := uint64(addr) / d.cfg.RowBytes
+	return int(rowIdx % uint64(d.cfg.Banks)), int64(rowIdx / uint64(d.cfg.Banks))
+}
+
+// Access performs the timing side of one line-granularity access beginning
+// at cycle now, updating bank/row state, and returns the total latency the
+// requester observes (queueing stall + service time + jitter).
+func (d *DRAM) Access(now sim.Cycles, rng *rand.Rand, addr Addr, write bool) sim.Cycles {
+	if uint64(addr) >= d.cfg.Size {
+		panic(fmt.Sprintf("dram: access at %#x beyond capacity %#x", addr, d.cfg.Size))
+	}
+	bank, row := d.bankAndRow(addr)
+	var mean float64
+	switch {
+	case d.cfg.ClosedPage:
+		mean = d.cfg.RowMissLat
+		d.stats.RowMisses++
+	case d.openRow[bank] == row:
+		mean = d.cfg.RowHitLat
+		d.stats.RowHits++
+	default:
+		mean = d.cfg.RowMissLat
+		d.openRow[bank] = row
+		d.stats.RowMisses++
+	}
+	if write {
+		mean += d.cfg.WriteExtra
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	service := sim.Gauss(rng, mean, d.cfg.JitterSigma)
+	// Periodic refresh: once per interval the bank is unavailable for the
+	// refresh penalty before servicing (banks staggered by index).
+	if d.cfg.RefreshInterval > 0 {
+		epoch := (int64(now) + int64(float64(bank)/float64(d.cfg.Banks)*d.cfg.RefreshInterval)) /
+			int64(d.cfg.RefreshInterval)
+		if epoch > d.refreshedAt[bank] {
+			d.refreshedAt[bank] = epoch
+			service += sim.Cycles(d.cfg.RefreshPenalty)
+			d.stats.Refreshes++
+		}
+	}
+	stall := d.banks[bank].Acquire(now, service)
+	d.stats.StallCyc += stall
+	return stall + service
+}
+
+// page returns (allocating on demand) the backing page containing addr.
+func (d *DRAM) page(addr Addr) (*[pageBytes]byte, uint64) {
+	base := addr &^ (pageBytes - 1)
+	p, ok := d.pages[base]
+	if !ok {
+		p = new([pageBytes]byte)
+		d.pages[base] = p
+	}
+	return p, uint64(addr - base)
+}
+
+// ReadBytes copies len(buf) bytes starting at addr into buf. Unwritten
+// memory reads as zero.
+func (d *DRAM) ReadBytes(addr Addr, buf []byte) {
+	if uint64(addr)+uint64(len(buf)) > d.cfg.Size {
+		panic(fmt.Sprintf("dram: read [%#x,+%d) beyond capacity", addr, len(buf)))
+	}
+	for n := 0; n < len(buf); {
+		p, off := d.page(addr + Addr(n))
+		c := copy(buf[n:], p[off:])
+		n += c
+	}
+}
+
+// WriteBytes stores data at addr.
+func (d *DRAM) WriteBytes(addr Addr, data []byte) {
+	if uint64(addr)+uint64(len(data)) > d.cfg.Size {
+		panic(fmt.Sprintf("dram: write [%#x,+%d) beyond capacity", addr, len(data)))
+	}
+	for n := 0; n < len(data); {
+		p, off := d.page(addr + Addr(n))
+		c := copy(p[off:], data[n:])
+		n += c
+	}
+}
+
+// ReadLine reads the 64-byte line containing addr (aligned down).
+func (d *DRAM) ReadLine(addr Addr) [LineSize]byte {
+	var line [LineSize]byte
+	d.ReadBytes(addr&^(LineSize-1), line[:])
+	return line
+}
+
+// WriteLine stores a 64-byte line at the line containing addr (aligned down).
+func (d *DRAM) WriteLine(addr Addr, line [LineSize]byte) {
+	d.WriteBytes(addr&^(LineSize-1), line[:])
+}
+
+// AllocatedPages reports how many 4 KB backing pages have been materialized
+// (diagnostics; the store is sparse so 32 GB costs nothing up front).
+func (d *DRAM) AllocatedPages() int { return len(d.pages) }

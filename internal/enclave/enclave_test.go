@@ -1,0 +1,179 @@
+package enclave
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"meecc/internal/dram"
+)
+
+func TestPageTableMapTranslate(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x10000, 0x5000)
+	cases := []struct {
+		va   VAddr
+		want dram.Addr
+	}{
+		{0x10000, 0x5000},
+		{0x10001, 0x5001},
+		{0x10FFF, 0x5FFF},
+	}
+	for _, c := range cases {
+		pa, ok := pt.Translate(c.va)
+		if !ok || pa != c.want {
+			t.Errorf("Translate(%#x) = %#x,%v want %#x", c.va, pa, ok, c.want)
+		}
+	}
+	if _, ok := pt.Translate(0x11000); ok {
+		t.Error("adjacent unmapped page translated")
+	}
+	if pt.Mapped() != 1 {
+		t.Errorf("mapped=%d", pt.Mapped())
+	}
+}
+
+func TestPageTableRejectsUnaligned(t *testing.T) {
+	pt := NewPageTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Map accepted")
+		}
+	}()
+	pt.Map(0x10001, 0x5000)
+}
+
+func TestQuickPageTableOffsetPreserved(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0, 0x40000)
+	f := func(off uint16) bool {
+		va := VAddr(off) % PageBytes
+		pa, ok := pt.Translate(va)
+		return ok && pa == 0x40000+dram.Addr(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialAllocatorIsContiguous(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := NewEPCAllocator(0x1000000, 64*PageBytes, AllocSequential, rng)
+	prev := dram.Addr(0)
+	for i := 0; i < 64; i++ {
+		f, err := a.Alloc(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && f != prev+PageBytes {
+			t.Fatalf("frame %d not contiguous: %#x after %#x", i, f, prev)
+		}
+		prev = f
+		if a.Owner(f) != 7 {
+			t.Fatalf("owner of %#x = %d", f, a.Owner(f))
+		}
+	}
+	if a.Free() != 0 {
+		t.Fatalf("free=%d", a.Free())
+	}
+	if _, err := a.Alloc(7); err == nil {
+		t.Fatal("exhausted allocator still allocates")
+	}
+}
+
+func TestShuffledAllocatorPermutesAllFrames(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	const n = 256
+	a := NewEPCAllocator(0, n*PageBytes, AllocShuffled, rng)
+	seen := map[dram.Addr]bool{}
+	sequentialRun := 0
+	var prev dram.Addr
+	for i := 0; i < n; i++ {
+		f, err := a.Alloc(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f%PageBytes != 0 || uint64(f) >= n*PageBytes {
+			t.Fatalf("frame %#x out of range", f)
+		}
+		if seen[f] {
+			t.Fatalf("frame %#x handed out twice", f)
+		}
+		seen[f] = true
+		if i > 0 && f == prev+PageBytes {
+			sequentialRun++
+		}
+		prev = f
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d distinct frames", len(seen))
+	}
+	if sequentialRun > n/4 {
+		t.Fatalf("shuffled allocator too sequential (%d adjacent pairs)", sequentialRun)
+	}
+}
+
+func TestChunkedAllocatorHasRuns(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	const n = 512
+	a := NewEPCAllocator(0, n*PageBytes, AllocChunked, rng)
+	seen := map[dram.Addr]bool{}
+	adjacent := 0
+	var prev dram.Addr
+	for i := 0; i < n; i++ {
+		f, err := a.Alloc(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f] {
+			t.Fatalf("frame %#x handed out twice", f)
+		}
+		seen[f] = true
+		if i > 0 && f == prev+PageBytes {
+			adjacent++
+		}
+		prev = f
+	}
+	// Runs of 8..64 frames: most transitions stay adjacent, but not all.
+	if adjacent < n/2 {
+		t.Fatalf("chunked allocation barely contiguous (%d adjacent)", adjacent)
+	}
+	if adjacent == n-1 {
+		t.Fatal("chunked allocation fully sequential (no fragmentation)")
+	}
+}
+
+func TestOwnerOfUnallocatedFrame(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := NewEPCAllocator(0, 8*PageBytes, AllocSequential, rng)
+	if got := a.Owner(0); got != -1 {
+		t.Fatalf("owner of unallocated frame = %d", got)
+	}
+	f, _ := a.Alloc(3)
+	// Any address within the frame maps to the owner.
+	if got := a.Owner(f + 123); got != 3 {
+		t.Fatalf("owner via offset = %d", got)
+	}
+}
+
+func TestAllocatorRejectsUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned EPC region accepted")
+		}
+	}()
+	NewEPCAllocator(17, 8*PageBytes, AllocSequential, rand.New(rand.NewPCG(1, 1)))
+}
+
+func TestEnclaveContains(t *testing.T) {
+	e := &Enclave{ID: 1, Base: 0x8000_0000, Pages: 4}
+	if e.Size() != 4*PageBytes {
+		t.Fatalf("size %d", e.Size())
+	}
+	if !e.Contains(0x8000_0000) || !e.Contains(0x8000_0000+VAddr(e.Size())-1) {
+		t.Fatal("enclave does not contain its range")
+	}
+	if e.Contains(0x8000_0000-1) || e.Contains(0x8000_0000+VAddr(e.Size())) {
+		t.Fatal("enclave contains addresses outside its range")
+	}
+}

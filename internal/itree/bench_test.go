@@ -1,0 +1,44 @@
+package itree
+
+import "testing"
+
+func BenchmarkEncryptLine(b *testing.B) {
+	c := NewCrypto([16]byte{1})
+	var line [LineSize]byte
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		line = c.EncryptLine(0x1000, uint64(i), line)
+	}
+}
+
+func BenchmarkDataMAC(b *testing.B) {
+	c := NewCrypto([16]byte{1})
+	var ct [LineSize]byte
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.DataMAC(0x1000, uint64(i), ct)
+	}
+}
+
+func BenchmarkNodeMAC(b *testing.B) {
+	c := NewCrypto([16]byte{1})
+	var counters [CountersPerLine]uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		counters[0] = uint64(i)
+		_ = c.NodeMAC(0x2000, 7, counters)
+	}
+}
+
+func BenchmarkCounterLineCodec(b *testing.B) {
+	var cl CounterLine
+	for i := range cl.Counters {
+		cl.Counters[i] = uint64(i) * 999
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl = DecodeCounterLine(cl.Encode())
+	}
+}

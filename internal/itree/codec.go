@@ -1,0 +1,68 @@
+package itree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CounterLine is the decoded form of a versions line or an L0/L1/L2 counter
+// line: eight 56-bit counters plus a 64-bit embedded MAC keyed (indirectly)
+// by the covering counter one level up. The encoded wire format is exactly
+// one 64 B cache line: 8 × 7-byte little-endian counters followed by the
+// 8-byte MAC.
+type CounterLine struct {
+	Counters [CountersPerLine]uint64
+	MAC      uint64
+}
+
+// Encode serializes the line into its 64-byte DRAM representation. Counters
+// must fit in 56 bits.
+func (cl *CounterLine) Encode() [LineSize]byte {
+	var out [LineSize]byte
+	for i, c := range cl.Counters {
+		if c > CounterMax {
+			panic(fmt.Sprintf("itree: counter %d overflows 56 bits: %#x", i, c))
+		}
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], c)
+		copy(out[i*7:(i+1)*7], tmp[:7])
+	}
+	binary.LittleEndian.PutUint64(out[56:], cl.MAC)
+	return out
+}
+
+// DecodeCounterLine parses a 64-byte line into counters and embedded MAC.
+func DecodeCounterLine(raw [LineSize]byte) CounterLine {
+	var cl CounterLine
+	for i := 0; i < CountersPerLine; i++ {
+		var tmp [8]byte
+		copy(tmp[:7], raw[i*7:(i+1)*7])
+		cl.Counters[i] = binary.LittleEndian.Uint64(tmp[:])
+	}
+	cl.MAC = binary.LittleEndian.Uint64(raw[56:])
+	return cl
+}
+
+// TagLine is the decoded form of a PD_Tag line: eight 64-bit MAC tags, one
+// per protected data line in the covered 512 B block.
+type TagLine struct {
+	Tags [CountersPerLine]uint64
+}
+
+// Encode serializes the tag line into its 64-byte DRAM representation.
+func (tl *TagLine) Encode() [LineSize]byte {
+	var out [LineSize]byte
+	for i, t := range tl.Tags {
+		binary.LittleEndian.PutUint64(out[i*8:], t)
+	}
+	return out
+}
+
+// DecodeTagLine parses a 64-byte line into eight PD_Tags.
+func DecodeTagLine(raw [LineSize]byte) TagLine {
+	var tl TagLine
+	for i := 0; i < CountersPerLine; i++ {
+		tl.Tags[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return tl
+}

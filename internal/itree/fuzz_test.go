@@ -1,0 +1,23 @@
+package itree
+
+import "testing"
+
+// FuzzCounterLineDecode: arbitrary 64-byte lines (e.g. tampered DRAM) must
+// decode without panicking and re-encode losslessly once counters are
+// masked to 56 bits.
+func FuzzCounterLineDecode(f *testing.F) {
+	f.Add(make([]byte, LineSize))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var line [LineSize]byte
+		copy(line[:], raw)
+		cl := DecodeCounterLine(line)
+		for i, c := range cl.Counters {
+			if c > CounterMax {
+				t.Fatalf("counter %d decoded beyond 56 bits: %#x", i, c)
+			}
+		}
+		if DecodeCounterLine(cl.Encode()) != cl {
+			t.Fatal("re-encode not lossless")
+		}
+	})
+}

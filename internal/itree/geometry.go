@@ -1,0 +1,219 @@
+// Package itree implements the SGX-style memory integrity tree that the MEE
+// (Memory Encryption Engine) maintains over the protected data region: a
+// counter tree whose leaves are "versions" lines (8 × 56-bit write counters
+// per 64 B line, one counter per protected data line), whose intermediate
+// levels L0..L2 are 8-ary counter lines with embedded MACs, and whose root
+// counters live in trusted on-die SRAM. Protected data lines are encrypted
+// with AES counter mode keyed by (address, version) and authenticated with a
+// PD_Tag MAC stored in companion tag lines.
+//
+// The package provides geometry (address mapping between data lines and
+// their covering tree nodes), node codecs, and the cryptography; the walk
+// ordering, caching, and timing live in the mee package.
+package itree
+
+import (
+	"fmt"
+
+	"meecc/internal/dram"
+)
+
+// Tree shape constants (Gueron, "A Memory Encryption Engine Suitable for
+// General Purpose Processors", 2016; and Section 4.1 of the paper).
+const (
+	LineSize = 64 // every tree node and data line is one cache line
+	// CountersPerLine is the tree arity: 8 × 56-bit counters fit in a line
+	// alongside a 64-bit embedded MAC.
+	CountersPerLine = 8
+	// DataPerVersionLine: one versions line covers 8 data lines = 512 B.
+	DataPerVersionLine = CountersPerLine * LineSize
+	// CounterBits is the width of each version/level counter.
+	CounterBits = 56
+	// CounterMax is the largest representable counter value; overflow in a
+	// real MEE forces re-keying, which we surface as an error.
+	CounterMax = uint64(1)<<CounterBits - 1
+	// Levels is the number of intermediate counter levels (L0, L1, L2)
+	// between the versions lines and the SRAM root.
+	Levels = 3
+)
+
+// Geometry lays out the protected data region and its integrity tree inside
+// the PRM (processor-reserved memory / "MEE region") and maps addresses
+// between them. All regions are line-aligned and disjoint.
+type Geometry struct {
+	PRMBase  dram.Addr // base of the MEE region
+	PRMSize  uint64    // size of the MEE region (the paper's is 128 MB)
+	DataBase dram.Addr // protected data region (enclave pages)
+	DataSize uint64
+	VersBase dram.Addr // versions lines, one per 512 B of data
+	TagBase  dram.Addr // PD_Tag lines, one per 512 B of data
+	// LevelBase[l] is the base of counter level l (L0..L2).
+	LevelBase [Levels]dram.Addr
+	// LevelLines[l] is the number of lines in counter level l.
+	LevelLines [Levels]uint64
+	// RootCounters is the number of on-die root counters (one per L2 line).
+	RootCounters int
+}
+
+// NewGeometry computes the region layout for a protected data region of
+// dataSize bytes placed at the start of a PRM at prmBase. dataSize must be a
+// positive multiple of the L2 coverage (256 KB = 8*8*8*512 B) so that every
+// level is fully populated; the default platform uses 96 MB inside a 128 MB
+// PRM, matching the paper's testbed.
+func NewGeometry(prmBase dram.Addr, prmSize, dataSize uint64) (Geometry, error) {
+	const l2Coverage = DataPerVersionLine * CountersPerLine * CountersPerLine * CountersPerLine // 256 KB
+	if dataSize == 0 || dataSize%l2Coverage != 0 {
+		return Geometry{}, fmt.Errorf("itree: data size %d must be a positive multiple of %d", dataSize, l2Coverage)
+	}
+	if prmBase%LineSize != 0 {
+		return Geometry{}, fmt.Errorf("itree: PRM base %#x not line aligned", prmBase)
+	}
+	g := Geometry{PRMBase: prmBase, PRMSize: prmSize, DataBase: prmBase, DataSize: dataSize}
+	nVers := dataSize / DataPerVersionLine
+	g.VersBase = g.DataBase + dram.Addr(dataSize)
+	g.TagBase = g.VersBase + dram.Addr(nVers*LineSize)
+	next := g.TagBase + dram.Addr(nVers*LineSize)
+	lines := nVers
+	for l := 0; l < Levels; l++ {
+		lines /= CountersPerLine
+		g.LevelBase[l] = next
+		g.LevelLines[l] = lines
+		next += dram.Addr(lines * LineSize)
+	}
+	g.RootCounters = int(g.LevelLines[Levels-1])
+	used := uint64(next - prmBase)
+	if prmSize < used {
+		return Geometry{}, fmt.Errorf("itree: PRM size %d too small for data %d + tree %d", prmSize, dataSize, used-dataSize)
+	}
+	return g, nil
+}
+
+// ContainsData reports whether addr falls inside the protected data region.
+func (g *Geometry) ContainsData(addr dram.Addr) bool {
+	return addr >= g.DataBase && uint64(addr-g.DataBase) < g.DataSize
+}
+
+// TreeBytes returns the DRAM footprint of the integrity metadata (versions,
+// tags, and counter levels), excluding the SRAM root.
+func (g *Geometry) TreeBytes() uint64 {
+	nVers := g.DataSize / DataPerVersionLine
+	total := 2 * nVers * LineSize // versions + tags
+	for _, n := range g.LevelLines {
+		total += n * LineSize
+	}
+	return total
+}
+
+// dataLineIndex returns the index of the 64 B data line containing addr.
+func (g *Geometry) dataLineIndex(addr dram.Addr) uint64 {
+	if !g.ContainsData(addr) {
+		panic(fmt.Sprintf("itree: %#x outside protected data region", addr))
+	}
+	return uint64(addr-g.DataBase) / LineSize
+}
+
+// VersionLineIndex returns the index of the versions line covering addr.
+func (g *Geometry) VersionLineIndex(addr dram.Addr) uint64 {
+	return g.dataLineIndex(addr) / CountersPerLine
+}
+
+// VersionLineAddr returns the DRAM address of the versions line covering the
+// protected data address addr.
+func (g *Geometry) VersionLineAddr(addr dram.Addr) dram.Addr {
+	return g.VersBase + dram.Addr(g.VersionLineIndex(addr)*LineSize)
+}
+
+// VersionSlot returns which of the 8 counters in the covering versions line
+// belongs to the data line at addr.
+func (g *Geometry) VersionSlot(addr dram.Addr) int {
+	return int(g.dataLineIndex(addr) % CountersPerLine)
+}
+
+// TagLineAddr returns the DRAM address of the PD_Tag line covering addr.
+func (g *Geometry) TagLineAddr(addr dram.Addr) dram.Addr {
+	return g.TagBase + dram.Addr(g.VersionLineIndex(addr)*LineSize)
+}
+
+// TagSlot returns which of the 8 MAC tags in the covering tag line belongs
+// to the data line at addr; it equals VersionSlot by construction.
+func (g *Geometry) TagSlot(addr dram.Addr) int { return g.VersionSlot(addr) }
+
+// LevelLineAddr returns the DRAM address of the level-l counter line with
+// the given index.
+func (g *Geometry) LevelLineAddr(level int, index uint64) dram.Addr {
+	if level < 0 || level >= Levels {
+		panic(fmt.Sprintf("itree: bad level %d", level))
+	}
+	if index >= g.LevelLines[level] {
+		panic(fmt.Sprintf("itree: level %d index %d out of range %d", level, index, g.LevelLines[level]))
+	}
+	return g.LevelBase[level] + dram.Addr(index*LineSize)
+}
+
+// ParentOfVersion returns the L0 line index and counter slot covering the
+// versions line with index vi.
+func (g *Geometry) ParentOfVersion(vi uint64) (l0Index uint64, slot int) {
+	return vi / CountersPerLine, int(vi % CountersPerLine)
+}
+
+// ParentOfLevel returns, for the level-l line with the given index, the
+// covering line index and slot at level l+1. For l == Levels-1 (L2) the
+// covering counter is root counter number index, indicated by root == true.
+func (g *Geometry) ParentOfLevel(level int, index uint64) (parentIndex uint64, slot int, root bool) {
+	if level == Levels-1 {
+		return index, 0, true
+	}
+	return index / CountersPerLine, int(index % CountersPerLine), false
+}
+
+// NodeKind classifies a PRM address for diagnostics and for the MEE cache's
+// odd/even set placement.
+type NodeKind int
+
+const (
+	KindData NodeKind = iota
+	KindVersion
+	KindTag
+	KindLevel0
+	KindLevel1
+	KindLevel2
+	KindOutside
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindVersion:
+		return "version"
+	case KindTag:
+		return "pd_tag"
+	case KindLevel0:
+		return "level0"
+	case KindLevel1:
+		return "level1"
+	case KindLevel2:
+		return "level2"
+	default:
+		return "outside"
+	}
+}
+
+// Classify reports which region an address belongs to.
+func (g *Geometry) Classify(addr dram.Addr) NodeKind {
+	nVers := g.DataSize / DataPerVersionLine
+	switch {
+	case g.ContainsData(addr):
+		return KindData
+	case addr >= g.VersBase && addr < g.VersBase+dram.Addr(nVers*LineSize):
+		return KindVersion
+	case addr >= g.TagBase && addr < g.TagBase+dram.Addr(nVers*LineSize):
+		return KindTag
+	}
+	for l := 0; l < Levels; l++ {
+		if addr >= g.LevelBase[l] && addr < g.LevelBase[l]+dram.Addr(g.LevelLines[l]*LineSize) {
+			return NodeKind(int(KindLevel0) + l)
+		}
+	}
+	return KindOutside
+}

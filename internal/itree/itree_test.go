@@ -1,0 +1,262 @@
+package itree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meecc/internal/dram"
+)
+
+func mustGeom(t *testing.T) Geometry {
+	t.Helper()
+	g, err := NewGeometry(0, 128<<20, 96<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeometrySizes(t *testing.T) {
+	g := mustGeom(t)
+	nVers := uint64(96<<20) / DataPerVersionLine
+	if nVers != 196608 {
+		t.Fatalf("versions lines %d, want 196608", nVers)
+	}
+	if g.LevelLines[0] != nVers/8 || g.LevelLines[1] != nVers/64 || g.LevelLines[2] != nVers/512 {
+		t.Fatalf("level lines %v", g.LevelLines)
+	}
+	if g.RootCounters != int(nVers/512) {
+		t.Fatalf("root counters %d, want %d", g.RootCounters, nVers/512)
+	}
+	// 96 MB data + ~25.7 MB metadata must fit in the 128 MB PRM.
+	if g.TreeBytes() >= 32<<20 {
+		t.Fatalf("tree bytes %d unexpectedly large", g.TreeBytes())
+	}
+}
+
+func TestGeometryRejectsBadSizes(t *testing.T) {
+	if _, err := NewGeometry(0, 128<<20, 0); err == nil {
+		t.Fatal("zero data size accepted")
+	}
+	if _, err := NewGeometry(0, 128<<20, (3<<20)+4096); err == nil {
+		t.Fatal("non-multiple of L2 coverage accepted")
+	}
+	if _, err := NewGeometry(0, 4<<20, 96<<20); err == nil {
+		t.Fatal("PRM smaller than data accepted")
+	}
+	if _, err := NewGeometry(7, 128<<20, 96<<20); err == nil {
+		t.Fatal("unaligned PRM base accepted")
+	}
+}
+
+func TestRegionsAreDisjointAndClassified(t *testing.T) {
+	g := mustGeom(t)
+	cases := []struct {
+		addr dram.Addr
+		want NodeKind
+	}{
+		{g.DataBase, KindData},
+		{g.DataBase + dram.Addr(g.DataSize) - 1, KindData},
+		{g.VersBase, KindVersion},
+		{g.TagBase, KindTag},
+		{g.LevelBase[0], KindLevel0},
+		{g.LevelBase[1], KindLevel1},
+		{g.LevelBase[2], KindLevel2},
+		{g.LevelBase[2] + dram.Addr(g.LevelLines[2]*LineSize), KindOutside},
+	}
+	for _, c := range cases {
+		if got := g.Classify(c.addr); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestVersionAndTagMapping(t *testing.T) {
+	g := mustGeom(t)
+	// Data lines within one 512 B block share a versions line and differ in slot.
+	base := g.DataBase + 512*7
+	for i := 0; i < 8; i++ {
+		a := base + dram.Addr(i*64)
+		if g.VersionLineAddr(a) != g.VersionLineAddr(base) {
+			t.Fatalf("line %d left its versions line", i)
+		}
+		if g.VersionSlot(a) != i {
+			t.Fatalf("slot for line %d = %d", i, g.VersionSlot(a))
+		}
+		if g.TagSlot(a) != i {
+			t.Fatalf("tag slot for line %d = %d", i, g.TagSlot(a))
+		}
+	}
+	// The next 512 B block advances the versions line by exactly one line.
+	if g.VersionLineAddr(base+512) != g.VersionLineAddr(base)+LineSize {
+		t.Fatal("adjacent block does not use adjacent versions line")
+	}
+	if g.TagLineAddr(base+512) != g.TagLineAddr(base)+LineSize {
+		t.Fatal("adjacent block does not use adjacent tag line")
+	}
+}
+
+func TestParentChainReachesRoot(t *testing.T) {
+	g := mustGeom(t)
+	addr := g.DataBase + dram.Addr(g.DataSize) - 64 // last data line
+	vi := g.VersionLineIndex(addr)
+	l0, s0 := g.ParentOfVersion(vi)
+	if s0 != int(vi%8) {
+		t.Fatalf("version parent slot %d", s0)
+	}
+	idx := l0
+	for level := 0; level < Levels; level++ {
+		parent, slot, root := g.ParentOfLevel(level, idx)
+		if level == Levels-1 {
+			if !root {
+				t.Fatal("L2 parent should be root")
+			}
+			if parent >= uint64(g.RootCounters) {
+				t.Fatalf("root index %d out of range %d", parent, g.RootCounters)
+			}
+		} else {
+			if root {
+				t.Fatalf("level %d should not hit root", level)
+			}
+			if slot != int(idx%8) || parent != idx/8 {
+				t.Fatalf("level %d parent mapping wrong", level)
+			}
+			if parent >= g.LevelLines[level+1] {
+				t.Fatalf("level %d parent %d out of range", level, parent)
+			}
+		}
+		idx = parent
+	}
+}
+
+func TestCounterLineCodecRoundTrip(t *testing.T) {
+	cl := CounterLine{MAC: 0xdeadbeefcafef00d}
+	for i := range cl.Counters {
+		cl.Counters[i] = uint64(i+1) * 0x0123456789a % CounterMax
+	}
+	got := DecodeCounterLine(cl.Encode())
+	if got != cl {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, cl)
+	}
+}
+
+func TestCounterLineOverflowPanics(t *testing.T) {
+	cl := CounterLine{}
+	cl.Counters[3] = CounterMax + 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on 56-bit overflow")
+		}
+	}()
+	cl.Encode()
+}
+
+func TestTagLineCodecRoundTrip(t *testing.T) {
+	tl := TagLine{}
+	for i := range tl.Tags {
+		tl.Tags[i] = uint64(i) * 0xfeedface12345678
+	}
+	got := DecodeTagLine(tl.Encode())
+	if got != tl {
+		t.Fatal("tag line roundtrip mismatch")
+	}
+}
+
+func TestQuickCounterLineCodec(t *testing.T) {
+	f := func(vals [8]uint64, mac uint64) bool {
+		var cl CounterLine
+		for i, v := range vals {
+			cl.Counters[i] = v & CounterMax
+		}
+		cl.MAC = mac
+		return DecodeCounterLine(cl.Encode()) == cl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testCrypto() *Crypto {
+	return NewCrypto([16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	c := testCrypto()
+	var plain [LineSize]byte
+	for i := range plain {
+		plain[i] = byte(i * 3)
+	}
+	ct := c.EncryptLine(0x1000, 42, plain)
+	if ct == plain {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	if got := c.DecryptLine(0x1000, 42, ct); got != plain {
+		t.Fatal("decrypt failed")
+	}
+}
+
+func TestCiphertextDependsOnAddressAndVersion(t *testing.T) {
+	c := testCrypto()
+	var plain [LineSize]byte
+	a := c.EncryptLine(0x1000, 1, plain)
+	b := c.EncryptLine(0x1040, 1, plain)
+	d := c.EncryptLine(0x1000, 2, plain)
+	if a == b {
+		t.Fatal("ciphertext identical across addresses")
+	}
+	if a == d {
+		t.Fatal("ciphertext identical across versions (no freshness)")
+	}
+}
+
+func TestWrongVersionDecryptsGarbage(t *testing.T) {
+	c := testCrypto()
+	var plain [LineSize]byte
+	copy(plain[:], "secret enclave contents")
+	ct := c.EncryptLine(0x2000, 7, plain)
+	if got := c.DecryptLine(0x2000, 8, ct); got == plain {
+		t.Fatal("replayed ciphertext decrypted cleanly under wrong version")
+	}
+}
+
+func TestDataMACDetectsTamper(t *testing.T) {
+	c := testCrypto()
+	var ct [LineSize]byte
+	copy(ct[:], "ciphertext bits")
+	tag := c.DataMAC(0x3000, 5, ct)
+	if tag == c.DataMAC(0x3040, 5, ct) {
+		t.Fatal("MAC ignores address")
+	}
+	if tag == c.DataMAC(0x3000, 6, ct) {
+		t.Fatal("MAC ignores version")
+	}
+	ct[13] ^= 1
+	if tag == c.DataMAC(0x3000, 5, ct) {
+		t.Fatal("MAC ignores ciphertext change")
+	}
+}
+
+func TestNodeMACDetectsCounterTamperAndReplay(t *testing.T) {
+	c := testCrypto()
+	var counters [CountersPerLine]uint64
+	for i := range counters {
+		counters[i] = uint64(i) * 1111
+	}
+	mac := c.NodeMAC(0x4000, 99, counters)
+	if mac == c.NodeMAC(0x4000, 100, counters) {
+		t.Fatal("node MAC ignores parent counter (replay possible)")
+	}
+	counters[2]++
+	if mac == c.NodeMAC(0x4000, 99, counters) {
+		t.Fatal("node MAC ignores counter change")
+	}
+}
+
+func TestDifferentMasterKeysDiffer(t *testing.T) {
+	a := NewCrypto([16]byte{1})
+	b := NewCrypto([16]byte{2})
+	var plain [LineSize]byte
+	if a.EncryptLine(0, 0, plain) == b.EncryptLine(0, 0, plain) {
+		t.Fatal("different master keys produce identical keystreams")
+	}
+}

@@ -1,0 +1,125 @@
+package itree
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"meecc/internal/dram"
+)
+
+// Property: for every protected data address, the full covering chain
+// (version line → L0 → L1 → L2 → root) is well-formed: each link lands in
+// the right region, slots stay in range, and the root index is valid.
+func TestQuickCoveringChainWellFormed(t *testing.T) {
+	g, err := NewGeometry(1<<30, 128<<20, 96<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32) bool {
+		addr := g.DataBase + dram.Addr(uint64(off)%g.DataSize)
+		vaddr := g.VersionLineAddr(addr)
+		if g.Classify(vaddr) != KindVersion {
+			return false
+		}
+		if s := g.VersionSlot(addr); s < 0 || s >= CountersPerLine {
+			return false
+		}
+		if g.Classify(g.TagLineAddr(addr)) != KindTag {
+			return false
+		}
+		vi := g.VersionLineIndex(addr)
+		idx, slot := g.ParentOfVersion(vi)
+		if slot < 0 || slot >= CountersPerLine {
+			return false
+		}
+		for level := 0; level < Levels; level++ {
+			laddr := g.LevelLineAddr(level, idx)
+			if g.Classify(laddr) != NodeKind(int(KindLevel0)+level) {
+				return false
+			}
+			parent, pSlot, root := g.ParentOfLevel(level, idx)
+			if level == Levels-1 {
+				if !root || parent >= uint64(g.RootCounters) {
+					return false
+				}
+			} else {
+				if root || pSlot < 0 || pSlot >= CountersPerLine || parent >= g.LevelLines[level+1] {
+					return false
+				}
+			}
+			idx = parent
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: addresses within the same 512 B block share all covering
+// metadata; addresses in different blocks never share a versions line.
+func TestQuickBlockGranularity(t *testing.T) {
+	g, err := NewGeometry(0, 128<<20, 96<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a32, b32 uint32) bool {
+		a := g.DataBase + dram.Addr(uint64(a32)%g.DataSize)
+		b := g.DataBase + dram.Addr(uint64(b32)%g.DataSize)
+		sameBlock := uint64(a)/512 == uint64(b)/512
+		sameVers := g.VersionLineAddr(a) == g.VersionLineAddr(b)
+		if sameBlock != sameVers {
+			return false
+		}
+		// Tag lines mirror versions lines one-to-one.
+		return sameVers == (g.TagLineAddr(a) == g.TagLineAddr(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encryption is invertible and tweaked by every input: two
+// random (addr, version) pairs never produce the same keystream block
+// unless the pair is identical.
+func TestQuickEncryptionTweaks(t *testing.T) {
+	c := NewCrypto([16]byte{42})
+	var zero [LineSize]byte
+	f := func(a1, a2 uint32, v1, v2 uint16) bool {
+		ct1 := c.EncryptLine(dram.Addr(a1)&^63, uint64(v1), zero)
+		ct2 := c.EncryptLine(dram.Addr(a2)&^63, uint64(v2), zero)
+		same := dram.Addr(a1)&^63 == dram.Addr(a2)&^63 && v1 == v2
+		return same == (ct1 == ct2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the MAC of a random counter line changes whenever any input
+// changes (address, parent counter, or any counter value).
+func TestQuickNodeMACSensitivity(t *testing.T) {
+	c := NewCrypto([16]byte{43})
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 200; trial++ {
+		var counters [CountersPerLine]uint64
+		for i := range counters {
+			counters[i] = rng.Uint64() & CounterMax
+		}
+		addr := dram.Addr(rng.Uint64() &^ 63)
+		parent := rng.Uint64() & CounterMax
+		base := c.NodeMAC(addr, parent, counters)
+		if c.NodeMAC(addr^64, parent, counters) == base {
+			t.Fatal("MAC insensitive to address")
+		}
+		if c.NodeMAC(addr, parent^1, counters) == base {
+			t.Fatal("MAC insensitive to parent counter")
+		}
+		i := rng.IntN(CountersPerLine)
+		counters[i] ^= 1
+		if c.NodeMAC(addr, parent, counters) == base {
+			t.Fatal("MAC insensitive to counter change")
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package mee models the Memory Encryption Engine: the hardware unit inside
+// the memory controller that encrypts/decrypts protected-region traffic and
+// verifies its integrity and freshness against the counter tree, caching
+// recently verified tree lines in the MEE cache.
+//
+// The properties the covert channel exploits are implemented faithfully:
+//
+//   - the MEE cache is shared by all cores (it sits in the memory
+//     controller, not in any core);
+//   - every protected data access checks the covering versions line first,
+//     and the tree walk stops at the first MEE-cache hit (Section 2.2 of the
+//     paper), so access latency reveals the deepest cached level;
+//   - versions lines occupy odd cache sets and PD_Tag/L0..L2 lines even sets
+//     (Section 4.1);
+//   - clflush does not touch the MEE cache — there is deliberately no flush
+//     on the public access path;
+//   - the engine is single-ported, so concurrent walks from different cores
+//     serialize and contend.
+package mee
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"meecc/internal/cache"
+	"meecc/internal/dram"
+	"meecc/internal/itree"
+	"meecc/internal/sim"
+)
+
+// HitLevel reports the deepest integrity-tree level that hit in the MEE
+// cache during a walk — the quantity Figure 5 of the paper histograms.
+type HitLevel int
+
+const (
+	// HitVersions: the versions line itself was cached; fastest path.
+	HitVersions HitLevel = iota
+	// HitL0..HitL2: the walk fetched lower levels from DRAM and first hit
+	// the cache at this level.
+	HitL0
+	HitL1
+	HitL2
+	// HitRoot: nothing was cached; the walk went all the way to the on-die
+	// root counters.
+	HitRoot
+)
+
+func (h HitLevel) String() string {
+	switch h {
+	case HitVersions:
+		return "versions-hit"
+	case HitL0:
+		return "level0-hit"
+	case HitL1:
+		return "level1-hit"
+	case HitL2:
+		return "level2-hit"
+	case HitRoot:
+		return "root-access"
+	default:
+		return fmt.Sprintf("HitLevel(%d)", int(h))
+	}
+}
+
+// IntegrityError reports a failed MAC verification — either real tampering
+// (a test flipping DRAM bits) or a replay.
+type IntegrityError struct {
+	Addr dram.Addr
+	Kind itree.NodeKind
+	What string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("mee: integrity violation on %s line %#x: %s", e.Kind, e.Addr, e.What)
+}
+
+// Config sets the MEE cache organization and the timing model. The defaults
+// reproduce the organization the paper reverse-engineers and its published
+// latencies.
+type Config struct {
+	// CacheSets/CacheWays: 128 sets (64 odd for versions, 64 even for
+	// tags/levels) of 8 ways — the organization §4 reverse-engineers.
+	CacheSets int
+	CacheWays int
+	// Policy is the replacement policy. The paper assumes "approximate
+	// LRU"; we default to true LRU because it reproduces the paper's
+	// phenomenology exactly — in the 9-line/8-way musical chairs of
+	// Algorithm 2, a single forward pass evicts the spy's monitor line only
+	// ~half the time (the eviction cascade can close on an already-visited
+	// line), while the forward+backward two-phase pass makes the monitor
+	// the oldest line by the backward miss and evicts it deterministically.
+	// That is precisely the failure mode §5.3's two-phase design exists to
+	// fix. Tree-PLRU is available for ablations; being only path-wise
+	// recency-aware, it can lock into cycles that never evict the monitor.
+	Policy cache.Policy
+
+	// PipelineBase is the mean cost (cycles) of the MEE pipeline itself —
+	// decryption, MAC checks, queueing inside the unit — added to every
+	// protected access on top of the DRAM fetches.
+	PipelineBase float64
+	// LevelCheck is the extra verification cost per tree level fetched.
+	LevelCheck float64
+	// WriteExtra is added to protected writes (counter update, re-MAC).
+	WriteExtra float64
+	// PortOccupancy is how long one access occupies the engine's request
+	// port. The MEE pipelines DRAM fetches of concurrent walks (those
+	// contend at the banks instead), so only the crypto/check stage
+	// serializes.
+	PortOccupancy float64
+	// JitterSigma is gaussian jitter on the pipeline cost.
+	JitterSigma float64
+
+	// RandomEvictProb, when positive, evicts one random MEE-cache line per
+	// protected access with this probability — a noise-injection mitigation
+	// evaluated in the extension experiments (§5.5 discussion).
+	RandomEvictProb float64
+}
+
+// DefaultConfig returns the reverse-engineered organization (64 KB, 8-way,
+// 128 sets — Section 4) with timing calibrated to Figure 5: ~480 cycles for
+// a versions hit, ~+270 per additional tree level fetched.
+func DefaultConfig(rng *rand.Rand) Config {
+	_ = rng // accepted for symmetry with policies that need randomness
+	return Config{
+		CacheSets:     128,
+		CacheWays:     8,
+		Policy:        cache.NewLRU(),
+		PipelineBase:  230,
+		LevelCheck:    20,
+		WriteExtra:    60,
+		PortOccupancy: 120,
+		JitterSigma:   8,
+	}
+}
+
+// Stats counts MEE events.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	HitsAt     [5]uint64 // indexed by HitLevel
+	Writebacks uint64
+	Violations uint64
+	StallCyc   sim.Cycles
+}
+
+// Engine is the MEE instance for one memory controller.
+type Engine struct {
+	cfg   Config
+	geom  itree.Geometry
+	crypt *itree.Crypto
+	mem   *dram.DRAM
+	cache *cache.Cache
+
+	// bufs mirrors the current content of every tree line resident in the
+	// MEE cache (DRAM may be stale for dirty lines).
+	bufs map[dram.Addr]*nodeBuf
+	// root holds the on-die SRAM root counters — always trusted, always
+	// current.
+	root []uint64
+	// initialized tracks tree lines whose DRAM image has been materialized
+	// with valid MACs (lazy boot-time initialization).
+	initialized map[dram.Addr]bool
+
+	port  sim.Resource
+	stats Stats
+}
+
+// nodeBuf is the decoded content of a cached tree line.
+type nodeBuf struct {
+	kind    itree.NodeKind
+	counter itree.CounterLine // for version/level lines
+	tags    itree.TagLine     // for tag lines
+	dirty   bool
+}
+
+// New builds an MEE over the given geometry, crypto, and DRAM.
+func New(cfg Config, geom itree.Geometry, crypt *itree.Crypto, mem *dram.DRAM) *Engine {
+	if cfg.CacheSets%2 != 0 {
+		panic("mee: cache sets must be even (odd/even split)")
+	}
+	return &Engine{
+		cfg:         cfg,
+		geom:        geom,
+		crypt:       crypt,
+		mem:         mem,
+		cache:       cache.New("mee", cfg.CacheSets, cfg.CacheWays, cfg.Policy),
+		bufs:        make(map[dram.Addr]*nodeBuf),
+		root:        make([]uint64, geom.RootCounters),
+		initialized: make(map[dram.Addr]bool),
+	}
+}
+
+// Cache exposes the MEE cache for statistics and white-box tests.
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// Geometry returns the integrity-tree geometry.
+func (e *Engine) Geometry() *itree.Geometry { return &e.geom }
+
+// Stats returns a copy of the accumulated statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the statistics.
+func (e *Engine) ResetStats() { e.stats = Stats{}; e.cache.ResetStats() }
+
+// CacheSetFor reports the MEE cache set a tree line maps to. Versions lines
+// live in odd sets; PD_Tag lines and the L0..L2 counter lines live in even
+// sets (§4.1 of the paper reverse-engineers the versions/PD_Tag split; the
+// upper levels' placement is not published). Keeping the upper levels out of
+// the versions sets is required for Algorithm 1 to discover exactly 8 ways,
+// as the paper does: if L0 lines shared versions sets, every candidate pass
+// would carry one extra odd-set fill and cap index sets at 7. The residual
+// "versions data eviction caused by other levels" the paper mentions shows
+// up in our model through PD_Tag pressure and PLRU dynamics instead.
+func (e *Engine) CacheSetFor(addr dram.Addr) int {
+	lineIdx := uint64(addr) / itree.LineSize
+	half := uint64(e.cfg.CacheSets / 2)
+	if e.geom.Classify(addr) == itree.KindVersion {
+		return int(2*(lineIdx%half)) + 1
+	}
+	return int(2 * (lineIdx % half))
+}
+
+func (e *Engine) cacheTag(addr dram.Addr) cache.Tag {
+	return cache.Tag(uint64(addr) / itree.LineSize)
+}
+
+// walker accumulates latency for one protected access. In postedMode (used
+// for writebacks and background flushes) DRAM traffic occupies banks but
+// adds no requester latency, and hit-level accounting is suppressed.
+type walker struct {
+	e          *Engine
+	rng        *rand.Rand
+	now        sim.Cycles // start time of the access
+	lat        sim.Cycles // accumulated serial latency
+	hit        HitLevel   // deepest level that hit (set once, by the first hit)
+	set        bool
+	postedMode bool
+}
+
+func (w *walker) dram(addr dram.Addr, write bool) {
+	if w.postedMode {
+		w.posted(addr, write)
+		return
+	}
+	w.lat += w.e.mem.Access(w.now+w.lat, w.rng, addr, write)
+}
+
+// posted performs a DRAM access that occupies the bank but does not delay
+// the requester (posted writes / background writebacks).
+func (w *walker) posted(addr dram.Addr, write bool) {
+	_ = w.e.mem.Access(w.now+w.lat, w.rng, addr, write)
+}
+
+func (w *walker) markHit(h HitLevel) {
+	if w.postedMode || w.set {
+		return
+	}
+	w.hit = h
+	w.set = true
+}
+
+// ReadData performs a protected-region read of the 64-byte line containing
+// addr, starting at cycle now. It returns the decrypted line, the total
+// latency the requesting core observes (including MEE port contention), and
+// the hit level for instrumentation.
+func (e *Engine) ReadData(now sim.Cycles, rng *rand.Rand, addr dram.Addr) ([itree.LineSize]byte, sim.Cycles, HitLevel, error) {
+	addr &^= itree.LineSize - 1
+	if !e.geom.ContainsData(addr) {
+		panic(fmt.Sprintf("mee: ReadData at %#x outside protected region", addr))
+	}
+	e.stats.Reads++
+	w := &walker{e: e, rng: rng, now: now}
+	e.maybeRandomEvict(w)
+
+	// Data ciphertext fetch from DRAM (the MEE never caches data lines).
+	w.dram(addr, false)
+	ct := e.mem.ReadLine(addr)
+
+	// Versions walk: stops at the first MEE-cache hit.
+	vline, err := e.loadVersions(w, addr)
+	if err != nil {
+		return [itree.LineSize]byte{}, w.lat, w.hit, err
+	}
+	slot := e.geom.VersionSlot(addr)
+	version := vline.counter.Counters[slot]
+
+	// PD_Tag check. The tag fetch overlaps the data fetch in the real
+	// pipeline, so it adds no serial latency, but it does occupy a DRAM
+	// bank on a miss and consumes even-set cache capacity.
+	tline, err := e.loadTags(w, addr)
+	if err != nil {
+		return [itree.LineSize]byte{}, w.lat, w.hit, err
+	}
+	want := e.crypt.DataMAC(addr, version, ct)
+	if tline.tags.Tags[slot] != want {
+		e.stats.Violations++
+		return [itree.LineSize]byte{}, w.lat, w.hit, &IntegrityError{Addr: addr, Kind: itree.KindData, What: "PD_Tag mismatch"}
+	}
+	plain := e.crypt.DecryptLine(addr, version, ct)
+
+	// MEE pipeline cost and port serialization (crypto stage only; DRAM
+	// fetches of concurrent walks overlap and contend at the banks).
+	w.lat += sim.Gauss(rng, e.cfg.PipelineBase, e.cfg.JitterSigma)
+	stall := e.port.Acquire(now, e.portOccupancy())
+	e.stats.StallCyc += stall
+	e.stats.HitsAt[w.hit]++
+	return plain, stall + w.lat, w.hit, nil
+}
+
+// portOccupancy bounds how long one request holds the MEE port.
+func (e *Engine) portOccupancy() sim.Cycles {
+	if e.cfg.PortOccupancy <= 0 {
+		return 1
+	}
+	return sim.Cycles(e.cfg.PortOccupancy)
+}
+
+// WriteData performs a protected-region write of the full line at addr:
+// version increment, re-encryption, PD_Tag recompute. The new ciphertext
+// write to DRAM is posted.
+func (e *Engine) WriteData(now sim.Cycles, rng *rand.Rand, addr dram.Addr, plain [itree.LineSize]byte) (sim.Cycles, HitLevel, error) {
+	addr &^= itree.LineSize - 1
+	if !e.geom.ContainsData(addr) {
+		panic(fmt.Sprintf("mee: WriteData at %#x outside protected region", addr))
+	}
+	e.stats.Writes++
+	w := &walker{e: e, rng: rng, now: now}
+	e.maybeRandomEvict(w)
+
+	vline, err := e.loadVersions(w, addr)
+	if err != nil {
+		return w.lat, w.hit, err
+	}
+	slot := e.geom.VersionSlot(addr)
+	if vline.counter.Counters[slot] >= itree.CounterMax {
+		return w.lat, w.hit, fmt.Errorf("mee: version counter overflow at %#x (re-key required)", addr)
+	}
+	vline.counter.Counters[slot]++
+	vline.dirty = true
+	version := vline.counter.Counters[slot]
+
+	ct := e.crypt.EncryptLine(addr, version, plain)
+	e.mem.WriteLine(addr, ct)
+	w.posted(addr, true)
+
+	tline, err := e.loadTags(w, addr)
+	if err != nil {
+		return w.lat, w.hit, err
+	}
+	tline.tags.Tags[slot] = e.crypt.DataMAC(addr, version, ct)
+	tline.dirty = true
+
+	w.lat += sim.Gauss(rng, e.cfg.PipelineBase+e.cfg.WriteExtra, e.cfg.JitterSigma)
+	stall := e.port.Acquire(now, e.portOccupancy())
+	e.stats.StallCyc += stall
+	e.stats.HitsAt[w.hit]++
+	return stall + w.lat, w.hit, nil
+}

@@ -1,0 +1,123 @@
+package mee
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"meecc/internal/dram"
+)
+
+// Property: under an arbitrary interleaving of reads, writes, and cache
+// flushes, every read returns the most recent write to that line
+// (read-your-writes through encryption, caching, and writebacks).
+func TestPropertyReadYourWrites(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewPCG(123, 456))
+	shadow := map[dram.Addr]byte{}
+	const lines = 64
+	addrOf := func(i int) dram.Addr {
+		// Spread across blocks and pages so sets/levels churn.
+		return f.dataAddr(uint64(i) * 512 * 3)
+	}
+	for op := 0; op < 1500; op++ {
+		i := rng.IntN(lines)
+		addr := addrOf(i)
+		switch rng.IntN(5) {
+		case 0, 1: // write
+			v := byte(rng.Uint64())
+			f.write(t, addr, v)
+			shadow[addr] = v
+		case 2: // flush the MEE cache entirely
+			if op%97 == 0 {
+				f.now += 100000
+				f.eng.FlushCache(f.now, f.rng)
+			}
+		default: // read and verify
+			got, _, _ := f.read(t, addr)
+			want, written := shadow[addr]
+			if !written {
+				continue
+			}
+			if got[0] != want {
+				t.Fatalf("op %d: line %d read %#x, want %#x", op, i, got[0], want)
+			}
+		}
+	}
+}
+
+// Property: latency never violates the mode ordering — a versions hit is
+// always faster than the same-moment root walk would be, and every access
+// falls within sane bounds.
+func TestPropertyLatencyBounds(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for op := 0; op < 800; op++ {
+		addr := f.dataAddr(uint64(rng.IntN(1<<20)) &^ 63)
+		f.now += 50000
+		_, lat, hit, err := f.eng.ReadData(f.now, f.rng, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := []int64{380, 620, 860, 1100, 1340}[hit]
+		hi := []int64{620, 900, 1180, 1460, 1900}[hit]
+		if int64(lat) < lo || int64(lat) > hi {
+			t.Fatalf("op %d: %v latency %d outside [%d,%d]", op, hit, lat, lo, hi)
+		}
+	}
+}
+
+// Property: the MEE cache never exceeds its capacity and never holds the
+// same line twice, under arbitrary access patterns.
+func TestPropertyCacheCapacityInvariant(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewPCG(9, 10))
+	for op := 0; op < 600; op++ {
+		addr := f.dataAddr(uint64(rng.IntN(4<<20)) &^ 511)
+		f.now += 50000
+		if _, _, _, err := f.eng.ReadData(f.now, f.rng, addr); err != nil {
+			t.Fatal(err)
+		}
+		if n := f.eng.Cache().ValidCount(); n > 128*8 {
+			t.Fatalf("MEE cache holds %d lines", n)
+		}
+	}
+	// Spot-check a few sets for duplicates.
+	for set := 0; set < 16; set++ {
+		seen := map[uint64]bool{}
+		for _, l := range f.eng.Cache().SetContents(set) {
+			if !l.Valid {
+				continue
+			}
+			if seen[uint64(l.Tag)] {
+				t.Fatalf("set %d holds tag %d twice", set, l.Tag)
+			}
+			seen[uint64(l.Tag)] = true
+		}
+	}
+}
+
+// Property: walks are deterministic given identical engine state — two
+// engines fed the same operation sequence report identical latencies.
+func TestPropertyDeterministicWalks(t *testing.T) {
+	run := func() []int64 {
+		f := newFixture(t)
+		var lats []int64
+		opRng := rand.New(rand.NewPCG(33, 44))
+		for i := 0; i < 200; i++ {
+			f.now += 40000
+			addr := f.dataAddr(uint64(opRng.IntN(1<<20)) &^ 63)
+			_, lat, _, err := f.eng.ReadData(f.now, f.rng, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lats = append(lats, int64(lat))
+		}
+		return lats
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walk %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package mee
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"meecc/internal/dram"
+	"meecc/internal/itree"
+	"meecc/internal/sim"
+)
+
+// loadVersions returns the (cached or freshly verified) versions line
+// covering dataAddr. On a cache hit the walk terminates here — the line was
+// verified when it was brought in, which is the property the whole covert
+// channel rests on. On a miss the line is fetched from DRAM and verified
+// against its covering L0 counter, recursing up the tree.
+func (e *Engine) loadVersions(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
+	vaddr := e.geom.VersionLineAddr(dataAddr)
+	set := e.CacheSetFor(vaddr)
+	if e.cache.Lookup(set, e.cacheTag(vaddr)) {
+		w.markHit(HitVersions)
+		return e.bufs[vaddr], nil
+	}
+	// Miss: fetch the line from DRAM.
+	w.dram(vaddr, false)
+	e.ensureInit(vaddr)
+	cl := itree.DecodeCounterLine(e.mem.ReadLine(vaddr))
+
+	// Obtain the covering L0 counter (may recurse further up).
+	vi := e.geom.VersionLineIndex(dataAddr)
+	l0, slot := e.geom.ParentOfVersion(vi)
+	pc, err := e.loadLevelCounter(w, 0, l0, slot)
+	if err != nil {
+		return nil, err
+	}
+	if cl.MAC != e.crypt.NodeMAC(vaddr, pc, cl.Counters) {
+		e.stats.Violations++
+		return nil, &IntegrityError{Addr: vaddr, Kind: itree.KindVersion, What: "embedded MAC mismatch"}
+	}
+	w.check()
+	nb := &nodeBuf{kind: itree.KindVersion, counter: cl}
+	e.install(w, vaddr, set, nb)
+	return nb, nil
+}
+
+// loadLevelCounter returns the current value of counter `slot` in the
+// level-`level` line with index idx, fetching and verifying the line if it
+// is not in the MEE cache. It records the walk's terminal hit level.
+func (e *Engine) loadLevelCounter(w *walker, level int, idx uint64, slot int) (uint64, error) {
+	addr := e.geom.LevelLineAddr(level, idx)
+	set := e.CacheSetFor(addr)
+	if e.cache.Lookup(set, e.cacheTag(addr)) {
+		w.markHit(HitL0 + HitLevel(level))
+		return e.bufs[addr].counter.Counters[slot], nil
+	}
+	w.dram(addr, false)
+	e.ensureInit(addr)
+	cl := itree.DecodeCounterLine(e.mem.ReadLine(addr))
+
+	pIdx, pSlot, isRoot := e.geom.ParentOfLevel(level, idx)
+	var pc uint64
+	if isRoot {
+		w.markHit(HitRoot)
+		pc = e.root[pIdx]
+	} else {
+		var err error
+		pc, err = e.loadLevelCounter(w, level+1, pIdx, pSlot)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if cl.MAC != e.crypt.NodeMAC(addr, pc, cl.Counters) {
+		e.stats.Violations++
+		return 0, &IntegrityError{Addr: addr, Kind: itree.NodeKind(int(itree.KindLevel0) + level), What: "embedded MAC mismatch"}
+	}
+	w.check()
+	nb := &nodeBuf{kind: itree.NodeKind(int(itree.KindLevel0) + level), counter: cl}
+	e.install(w, addr, set, nb)
+	return cl.Counters[slot], nil
+}
+
+// loadTags returns the PD_Tag line covering dataAddr. Tag fetches overlap
+// the data fetch in the real pipeline, so a miss occupies a DRAM bank but
+// adds no serial latency and does not define the walk's hit level.
+func (e *Engine) loadTags(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
+	taddr := e.geom.TagLineAddr(dataAddr)
+	set := e.CacheSetFor(taddr)
+	if e.cache.Lookup(set, e.cacheTag(taddr)) {
+		return e.bufs[taddr], nil
+	}
+	w.posted(taddr, false)
+	e.ensureInit(taddr)
+	tl := itree.DecodeTagLine(e.mem.ReadLine(taddr))
+	nb := &nodeBuf{kind: itree.KindTag, tags: tl}
+	e.install(w, taddr, set, nb)
+	return nb, nil
+}
+
+// check charges the per-level verification cost to the requester.
+func (w *walker) check() {
+	if w.postedMode {
+		return
+	}
+	w.lat += sim.Cycles(w.e.cfg.LevelCheck)
+}
+
+// install fills a verified line into the MEE cache, handling the eviction
+// (and possible dirty writeback) of the displaced line.
+func (e *Engine) install(w *walker, addr dram.Addr, set int, nb *nodeBuf) {
+	evicted := e.cache.Insert(set, e.cacheTag(addr), nb.dirty)
+	e.bufs[addr] = nb
+	if evicted.Valid {
+		evAddr := dram.Addr(uint64(evicted.Tag) * itree.LineSize)
+		evBuf := e.bufs[evAddr]
+		delete(e.bufs, evAddr)
+		if evBuf != nil && evBuf.dirty {
+			e.writeback(w, evAddr, evBuf)
+		}
+	}
+}
+
+// writeback flushes a dirty tree line to DRAM. Version and level lines must
+// first increment their covering counter (freshness) and re-MAC; tag lines
+// are self-authenticating and are written out as-is. All DRAM traffic here
+// is posted: it occupies banks but does not delay the requester.
+func (e *Engine) writeback(w *walker, addr dram.Addr, nb *nodeBuf) {
+	e.stats.Writebacks++
+	switch nb.kind {
+	case itree.KindTag:
+		raw := nb.tags.Encode()
+		e.mem.WriteLine(addr, raw)
+		w.posted(addr, true)
+		return
+	case itree.KindVersion:
+		vi := uint64(addr-e.geom.VersBase) / itree.LineSize
+		l0, slot := e.geom.ParentOfVersion(vi)
+		pc := e.bumpLevelCounter(w, 0, l0, slot)
+		nb.counter.MAC = e.crypt.NodeMAC(addr, pc, nb.counter.Counters)
+	case itree.KindLevel0, itree.KindLevel1, itree.KindLevel2:
+		level := int(nb.kind - itree.KindLevel0)
+		idx := uint64(addr-e.geom.LevelBase[level]) / itree.LineSize
+		pIdx, pSlot, isRoot := e.geom.ParentOfLevel(level, idx)
+		var pc uint64
+		if isRoot {
+			e.root[pIdx]++
+			pc = e.root[pIdx]
+		} else {
+			pc = e.bumpLevelCounter(w, level+1, pIdx, pSlot)
+		}
+		nb.counter.MAC = e.crypt.NodeMAC(addr, pc, nb.counter.Counters)
+	default:
+		panic(fmt.Sprintf("mee: writeback of unexpected node kind %v", nb.kind))
+	}
+	raw := nb.counter.Encode()
+	e.mem.WriteLine(addr, raw)
+	w.posted(addr, true)
+}
+
+// bumpLevelCounter loads (posted) the covering counter line, increments the
+// child's slot, marks it dirty, and returns the new counter value.
+func (e *Engine) bumpLevelCounter(w *walker, level int, idx uint64, slot int) uint64 {
+	prevPosted := w.postedMode
+	w.postedMode = true
+	pc, err := e.loadLevelCounter(w, level, idx, slot)
+	w.postedMode = prevPosted
+	if err != nil {
+		// A writeback that trips an integrity violation means the tree
+		// itself is corrupt; surface loudly (tamper tests never write).
+		panic(fmt.Sprintf("mee: integrity violation during writeback: %v", err))
+	}
+	if pc >= itree.CounterMax {
+		panic(fmt.Sprintf("mee: level %d counter overflow (re-key required)", level))
+	}
+	addr := e.geom.LevelLineAddr(level, idx)
+	nb := e.bufs[addr]
+	nb.counter.Counters[slot] = pc + 1
+	nb.dirty = true
+	e.cache.MarkDirty(e.CacheSetFor(addr), e.cacheTag(addr))
+	return pc + 1
+}
+
+// maybeRandomEvict implements the noise-injection mitigation: with
+// probability RandomEvictProb, one randomly chosen resident tree line is
+// evicted (written back if dirty) before the access proceeds.
+func (e *Engine) maybeRandomEvict(w *walker) {
+	p := e.cfg.RandomEvictProb
+	if p <= 0 || len(e.bufs) == 0 || w.rng.Float64() >= p {
+		return
+	}
+	addrs := make([]dram.Addr, 0, len(e.bufs))
+	for a := range e.bufs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	victim := addrs[w.rng.IntN(len(addrs))]
+	nb := e.bufs[victim]
+	e.cache.Invalidate(e.CacheSetFor(victim), e.cacheTag(victim))
+	delete(e.bufs, victim)
+	if nb.dirty {
+		prev := w.postedMode
+		w.postedMode = true
+		e.writeback(w, victim, nb)
+		w.postedMode = prev
+	}
+}
+
+// ensureInit materializes the boot-time image of a tree line in DRAM:
+// all-zero counters with a valid MAC (covering counters are provably zero
+// before a line's first writeback), or for tag lines the MACs of the
+// all-zero ciphertext at version zero.
+func (e *Engine) ensureInit(addr dram.Addr) {
+	if e.initialized[addr] {
+		return
+	}
+	e.initialized[addr] = true
+	kind := e.geom.Classify(addr)
+	switch kind {
+	case itree.KindVersion, itree.KindLevel0, itree.KindLevel1, itree.KindLevel2:
+		var cl itree.CounterLine
+		cl.MAC = e.crypt.NodeMAC(addr, 0, cl.Counters)
+		raw := cl.Encode()
+		e.mem.WriteLine(addr, raw)
+	case itree.KindTag:
+		var tl itree.TagLine
+		vi := uint64(addr-e.geom.TagBase) / itree.LineSize
+		var zero [itree.LineSize]byte
+		for i := 0; i < itree.CountersPerLine; i++ {
+			dataAddr := e.geom.DataBase + dram.Addr(vi*itree.DataPerVersionLine+uint64(i)*itree.LineSize)
+			tl.Tags[i] = e.crypt.DataMAC(dataAddr, 0, zero)
+		}
+		raw := tl.Encode()
+		e.mem.WriteLine(addr, raw)
+	default:
+		panic(fmt.Sprintf("mee: ensureInit on non-tree address %#x (%v)", addr, kind))
+	}
+}
+
+// FlushCache writes back every dirty line and empties the MEE cache —
+// a simulation-only helper used to start experiments from a cold MEE state
+// (no architectural equivalent exists; clflush cannot reach the MEE cache,
+// per §3 of the paper).
+func (e *Engine) FlushCache(now sim.Cycles, rng *rand.Rand) {
+	w := &walker{e: e, rng: rng, now: now, postedMode: true}
+	// Writing back a dirty version/level line dirties its parent, so sweep
+	// in ascending address order (parents live above children in the PRM)
+	// until nothing dirty remains.
+	for {
+		addrs := make([]dram.Addr, 0, len(e.bufs))
+		for addr, nb := range e.bufs {
+			if nb.dirty {
+				addrs = append(addrs, addr)
+			}
+		}
+		if len(addrs) == 0 {
+			break
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, addr := range addrs {
+			nb := e.bufs[addr]
+			if nb == nil || !nb.dirty {
+				continue // already handled by a cascaded eviction
+			}
+			e.writeback(w, addr, nb)
+			nb.dirty = false
+		}
+	}
+	e.cache.FlushAll()
+	e.bufs = make(map[dram.Addr]*nodeBuf)
+}

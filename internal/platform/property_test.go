@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meecc/internal/enclave"
+)
+
+// Property: translations are functions (same VA -> same PA), page-offset
+// preserving, and distinct pages never alias.
+func TestQuickTranslationConsistency(t *testing.T) {
+	p := New(DefaultConfig(123))
+	defer p.Close()
+	pr := p.NewProcess("q")
+	gen := pr.AllocGeneral(16)
+	if _, err := pr.CreateEnclave(16); err != nil {
+		t.Fatal(err)
+	}
+	encl := pr.Enclave().Base
+
+	f := func(pageSel, off uint16, useEnclave bool) bool {
+		base := gen
+		if useEnclave {
+			base = encl
+		}
+		va := base + enclave.VAddr(int(pageSel%16)*enclave.PageBytes+int(off)%enclave.PageBytes)
+		pa1, ok1 := pr.Translate(va)
+		pa2, ok2 := pr.Translate(va)
+		if !ok1 || !ok2 || pa1 != pa2 {
+			return false
+		}
+		return uint64(pa1)%enclave.PageBytes == uint64(va)%enclave.PageBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No aliasing between any two distinct pages of the process.
+	seen := map[uint64]string{}
+	check := func(label string, base enclave.VAddr) {
+		for i := 0; i < 16; i++ {
+			pa, ok := pr.Translate(base + enclave.VAddr(i*enclave.PageBytes))
+			if !ok {
+				t.Fatalf("%s page %d unmapped", label, i)
+			}
+			if prev, dup := seen[uint64(pa)]; dup {
+				t.Fatalf("%s page %d aliases %s (PA %#x)", label, i, prev, pa)
+			}
+			seen[uint64(pa)] = label
+		}
+	}
+	check("general", gen)
+	check("enclave", encl)
+}
+
+// Property: enclave frames always fall inside the protected data region and
+// general frames never do.
+func TestQuickFrameRegionSeparation(t *testing.T) {
+	p := New(DefaultConfig(124))
+	defer p.Close()
+	pr := p.NewProcess("q")
+	gen := pr.AllocGeneral(64)
+	if _, err := pr.CreateEnclave(64); err != nil {
+		t.Fatal(err)
+	}
+	geom := p.MEE().Geometry()
+	for i := 0; i < 64; i++ {
+		pg, _ := pr.Translate(gen + enclave.VAddr(i*enclave.PageBytes))
+		if geom.ContainsData(pg) {
+			t.Fatalf("general page %d landed in the protected region", i)
+		}
+		pe, _ := pr.Translate(pr.Enclave().Base + enclave.VAddr(i*enclave.PageBytes))
+		if !geom.ContainsData(pe) {
+			t.Fatalf("enclave page %d outside the protected region", i)
+		}
+	}
+}

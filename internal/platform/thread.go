@@ -1,0 +1,253 @@
+package platform
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"meecc/internal/cpucache"
+	"meecc/internal/dram"
+	"meecc/internal/enclave"
+	"meecc/internal/mee"
+	"meecc/internal/sim"
+)
+
+// Thread is one hardware thread executing on a core on behalf of a process.
+// Its methods are the simulated "ISA" that attack code is written against;
+// every method advances simulated time by the operation's cost.
+type Thread struct {
+	proc        *Process
+	core        int
+	sp          *sim.Proc
+	enclaveMode bool
+}
+
+// AccessResult reports what one memory access did, for instrumentation.
+// In-universe code may only use Lat (which it would observe via timers);
+// CacheLevel/MEEHit are ground truth available to the experiment harness.
+type AccessResult struct {
+	Lat        sim.Cycles
+	CacheLevel cpucache.Level
+	WentToMEE  bool
+	MEEHit     mee.HitLevel
+}
+
+// SpawnThread starts a thread of pr pinned to core, running body. The body
+// executes under the simulation engine like any actor.
+func (p *Platform) SpawnThread(name string, pr *Process, core int, body func(*Thread)) {
+	p.SpawnThreadAt(name, pr, core, 0, body)
+}
+
+// SpawnThreadAt is SpawnThread with a start cycle.
+func (p *Platform) SpawnThreadAt(name string, pr *Process, core int, start sim.Cycles, body func(*Thread)) {
+	if core < 0 || core >= p.cfg.Cores {
+		panic(fmt.Sprintf("platform: core %d out of range", core))
+	}
+	p.eng.SpawnAt(name, start, func(sp *sim.Proc) {
+		body(&Thread{proc: pr, core: core, sp: sp})
+	})
+}
+
+// Core returns the core this thread is pinned to.
+func (t *Thread) Core() int { return t.core }
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// Now returns simulator-internal time. In-universe code cannot read this
+// (that is the whole point of challenge 4); it exists for harness
+// instrumentation and tests.
+func (t *Thread) Now() sim.Cycles { return t.sp.Now() }
+
+// InEnclave reports whether the thread is in enclave mode.
+func (t *Thread) InEnclave() bool { return t.enclaveMode }
+
+// EnterEnclave switches to enclave mode (EENTER).
+func (t *Thread) EnterEnclave() {
+	if t.proc.encl == nil {
+		panic(fmt.Sprintf("platform: process %s has no enclave", t.proc.name))
+	}
+	if t.enclaveMode {
+		panic("platform: nested EnterEnclave")
+	}
+	t.enclaveMode = true
+	t.sp.Advance(sim.Cycles(t.proc.plat.cfg.EnterExitCost))
+}
+
+// ExitEnclave leaves enclave mode (EEXIT).
+func (t *Thread) ExitEnclave() {
+	if !t.enclaveMode {
+		panic("platform: ExitEnclave outside enclave")
+	}
+	t.enclaveMode = false
+	t.sp.Advance(sim.Cycles(t.proc.plat.cfg.EnterExitCost))
+}
+
+// translate resolves va, enforcing SGX access control: EPC pages are only
+// reachable from enclave mode by their owning enclave.
+func (t *Thread) translate(va enclave.VAddr) (dram.Addr, bool) {
+	pa, ok := t.proc.pt.Translate(va)
+	if !ok {
+		panic(fmt.Sprintf("platform: %s: fault at unmapped VA %#x", t.proc.name, va))
+	}
+	p := t.proc.plat
+	protected := p.mee.Geometry().ContainsData(pa)
+	if protected {
+		if !t.enclaveMode {
+			panic(fmt.Sprintf("platform: %s: abort-page access to EPC from non-enclave mode (VA %#x)", t.proc.name, va))
+		}
+		if owner := p.epc.Owner(pa); t.proc.encl == nil || owner != t.proc.encl.ID {
+			panic(fmt.Sprintf("platform: %s: EPCM violation at VA %#x (owner %d)", t.proc.name, va, owner))
+		}
+	}
+	return pa, protected
+}
+
+// access is the common read/write path: CPU caches first, then the memory
+// system (MEE walk for protected lines, plain DRAM otherwise).
+func (t *Thread) access(va enclave.VAddr, write bool) AccessResult {
+	pa, protected := t.translate(va)
+	p := t.proc.plat
+	rng := p.rng
+	now := t.sp.Now()
+
+	lvl, lat := p.caches.Access(t.core, pa, write)
+	res := AccessResult{CacheLevel: lvl}
+	if lvl == cpucache.Miss {
+		if protected {
+			plain, mlat, hit, err := p.mee.ReadData(now+lat, rng, pa)
+			if err != nil {
+				panic(fmt.Sprintf("platform: %s: %v", t.proc.name, err))
+			}
+			lat += mlat
+			res.WentToMEE, res.MEEHit = true, hit
+			t.writebackVictim(now+lat, p.caches.Fill(t.core, pa, plain, write))
+		} else {
+			lat += p.mem.Access(now+lat, rng, pa, false)
+			line := p.mem.ReadLine(pa)
+			t.writebackVictim(now+lat, p.caches.Fill(t.core, pa, line, write))
+		}
+	}
+	// Ambient system interference: occasional latency spikes. Exposure is
+	// proportional to how long the operation is in flight (an SMI or
+	// preemption is likelier to land in a 500-cycle DRAM access than in a
+	// 4-cycle L1 hit); SpikeProb is calibrated at a 500-cycle op.
+	if p.cfg.SpikeProb > 0 {
+		exposure := p.cfg.SpikeProb * float64(lat) / 500
+		if exposure > p.cfg.SpikeProb {
+			exposure = p.cfg.SpikeProb
+		}
+		if rng.Float64() < exposure {
+			lat += sim.Cycles(rng.Float64() * p.cfg.SpikeMax)
+		}
+	}
+	res.Lat = lat
+	t.sp.Advance(lat)
+	return res
+}
+
+// writebackVictim pushes an evicted dirty line back to memory: protected
+// lines re-encrypt through the MEE (version bump), general lines write to
+// DRAM. The traffic is posted — it occupies the memory system but does not
+// delay this thread.
+func (t *Thread) writebackVictim(now sim.Cycles, v *cpucache.Victim) {
+	if v == nil || !v.Dirty {
+		return
+	}
+	p := t.proc.plat
+	if p.mee.Geometry().ContainsData(v.Addr) {
+		if _, _, err := p.mee.WriteData(now, p.rng, v.Addr, v.Data); err != nil {
+			panic(fmt.Sprintf("platform: writeback: %v", err))
+		}
+		return
+	}
+	p.mem.WriteLine(v.Addr, v.Data)
+	_ = p.mem.Access(now, p.rng, v.Addr, true)
+}
+
+// Access touches va (a load whose value is ignored) and returns timing and
+// instrumentation. This is the probe primitive of all the attacks.
+func (t *Thread) Access(va enclave.VAddr) AccessResult {
+	return t.access(va, false)
+}
+
+// ReadU64 loads eight bytes at va (must not cross a cache line).
+func (t *Thread) ReadU64(va enclave.VAddr) (uint64, AccessResult) {
+	if va%64 > 56 {
+		panic("platform: ReadU64 crosses a cache line")
+	}
+	res := t.access(va, false)
+	pa, _ := t.proc.pt.Translate(va)
+	buf := t.proc.plat.caches.Data(pa)
+	return binary.LittleEndian.Uint64(buf[pa%64:]), res
+}
+
+// WriteU64 stores eight bytes at va (must not cross a cache line).
+func (t *Thread) WriteU64(va enclave.VAddr, val uint64) AccessResult {
+	if va%64 > 56 {
+		panic("platform: WriteU64 crosses a cache line")
+	}
+	res := t.access(va, true)
+	pa, _ := t.proc.pt.Translate(va)
+	buf := t.proc.plat.caches.Data(pa)
+	binary.LittleEndian.PutUint64(buf[pa%64:], val)
+	return res
+}
+
+// Flush executes clflush on va's line: evicted from every CPU cache level
+// (writing back if dirty) but — critically — not from the MEE cache.
+func (t *Thread) Flush(va enclave.VAddr) {
+	pa, _ := t.translate(va)
+	p := t.proc.plat
+	victim, lat := p.caches.Flush(pa)
+	t.writebackVictim(t.sp.Now()+lat, victim)
+	t.sp.Advance(lat)
+}
+
+// Mfence orders memory operations (small fixed cost; ordering is implicit
+// in the serialized simulation).
+func (t *Thread) Mfence() { t.sp.Advance(20) }
+
+// Rdtsc returns the exact cycle counter — but faults in enclave mode, as on
+// SGX1 hardware (challenge 4). Use TimerNow or OCallRdtsc inside enclaves.
+func (t *Thread) Rdtsc() sim.Cycles {
+	if t.enclaveMode {
+		panic("platform: rdtsc #UD in enclave mode (SGX1)")
+	}
+	now := t.sp.Now()
+	t.sp.Advance(sim.Cycles(t.proc.plat.cfg.RdtscCost))
+	return now
+}
+
+// TimerNow reads the hyperthread timer (Figure 2(c)): a sibling thread
+// outside the enclave continuously stores rdtsc values to shared
+// non-enclave memory, which this thread loads directly. The reading is
+// quantized to the timer thread's update period and costs ~50 cycles.
+func (t *Thread) TimerNow() sim.Cycles {
+	p := t.proc.plat
+	res := sim.Cycles(p.cfg.TimerResolution)
+	val := t.sp.Now() / res * res
+	t.sp.Advance(sim.Cycles(p.cfg.TimerReadCost))
+	return val
+}
+
+// OCallRdtsc models executing rdtsc via an OCALL (Figure 2(b)): the enclave
+// exits, reads the TSC, and re-enters, costing 8000–15000 cycles. The
+// returned value is exact but stale by roughly half the call overhead.
+func (t *Thread) OCallRdtsc() sim.Cycles {
+	if !t.enclaveMode {
+		panic("platform: OCallRdtsc outside enclave")
+	}
+	p := t.proc.plat
+	span := enclave.OCallMaxCycles - enclave.OCallMinCycles
+	dur := sim.Cycles(enclave.OCallMinCycles + p.rng.Float64()*float64(span))
+	val := t.sp.Now() + dur/2
+	t.sp.Advance(dur)
+	return val
+}
+
+// Spin busy-loops for n cycles.
+func (t *Thread) Spin(n sim.Cycles) { t.sp.Advance(n) }
+
+// SpinUntil busy-loops until simulated cycle `deadline` (in-universe code
+// implements this by polling TimerNow; the cost model is identical).
+func (t *Thread) SpinUntil(deadline sim.Cycles) { t.sp.SleepUntil(deadline) }

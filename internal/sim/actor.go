@@ -1,0 +1,123 @@
+package sim
+
+import "math/rand/v2"
+
+// Actor is one simulated thread of execution with its own cycle clock.
+type Actor struct {
+	name     string
+	id       int
+	clock    Cycles
+	done     bool
+	panicVal any
+	resume   chan struct{}
+	parked   chan struct{}
+	engine   *Engine
+	proc     *Proc
+}
+
+// Name returns the actor's diagnostic name.
+func (a *Actor) Name() string { return a.name }
+
+// Clock returns the actor's local cycle clock.
+func (a *Actor) Clock() Cycles { return a.clock }
+
+// Done reports whether the actor's body has returned (or been killed).
+func (a *Actor) Done() bool { return a.done }
+
+// run is the goroutine wrapper around the actor body. The goroutine blocks
+// until the engine resumes it for the first time, executes the body, and
+// reports completion. Panics other than the engine's kill sentinel are
+// captured and re-raised on the engine side.
+func (a *Actor) run(body func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); !isKill {
+				a.panicVal = r
+			}
+		}
+		a.done = true
+		a.parked <- struct{}{}
+	}()
+	<-a.resume
+	if a.engine.killed {
+		panic(killSentinel{})
+	}
+	body(a.proc)
+}
+
+// step resumes the actor for exactly one operation (one yield-to-yield
+// stretch) and waits for it to park again. Called only by the engine.
+func (a *Actor) step() {
+	a.resume <- struct{}{}
+	<-a.parked
+}
+
+// Proc is the handle an actor body uses to interact with simulated time.
+// All methods must be called only from within that actor's body.
+type Proc struct {
+	actor *Actor
+}
+
+// Now returns the actor's local clock.
+func (p *Proc) Now() Cycles { return p.actor.clock }
+
+// Name returns the owning actor's name.
+func (p *Proc) Name() string { return p.actor.name }
+
+// Rand returns the engine-wide seeded random source.
+func (p *Proc) Rand() *rand.Rand { return p.actor.engine.rng }
+
+// Advance consumes n cycles of simulated time (minimum 1, so that a loop of
+// zero-cost operations cannot stall the global clock) and yields to the
+// engine. All shared-state mutation the actor performed since its previous
+// yield is considered to have happened atomically at the pre-Advance clock.
+func (p *Proc) Advance(n Cycles) {
+	if n < 1 {
+		n = 1
+	}
+	p.actor.clock += n
+	p.yield()
+}
+
+// SleepUntil advances the actor's clock to t (no-op plus a 1-cycle yield if
+// t is in the past) — the busy-loop-until-deadline primitive from the
+// paper's Algorithm 2.
+func (p *Proc) SleepUntil(t Cycles) {
+	d := t - p.actor.clock
+	p.Advance(d)
+}
+
+// yield parks the actor and blocks until the engine resumes it. If the
+// engine is tearing down, the actor unwinds via the kill sentinel.
+func (p *Proc) yield() {
+	a := p.actor
+	a.parked <- struct{}{}
+	<-a.resume
+	if a.engine.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Resource models a single-ported shared hardware unit using a busy-until
+// clock. Acquiring it at time t for dur cycles returns how long the caller
+// must stall before service begins; the resource is then reserved until
+// service completes. This is how cross-core contention on the MEE and the
+// memory controller arises in the simulation.
+type Resource struct {
+	busyUntil Cycles
+}
+
+// Acquire reserves the resource for dur cycles starting no earlier than t
+// and returns the stall the caller experiences before service starts.
+func (r *Resource) Acquire(t, dur Cycles) (stall Cycles) {
+	start := t
+	if r.busyUntil > start {
+		stall = r.busyUntil - start
+		start = r.busyUntil
+	}
+	r.busyUntil = start + dur
+	return stall
+}
+
+// BusyUntil returns the cycle at which the resource becomes free.
+func (r *Resource) BusyUntil() Cycles { return r.busyUntil }

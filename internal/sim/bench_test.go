@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// BenchmarkActorSwitch measures the engine's op dispatch rate — the whole
+// simulation's speed ceiling.
+func BenchmarkActorSwitch(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Advance(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run(Cycles(b.N))
+	b.StopTimer()
+	e.Close()
+}
+
+// BenchmarkMultiActorInterleave measures scheduling with several live
+// actors, the covert channel's operating regime.
+func BenchmarkMultiActorInterleave(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 4; i++ {
+		step := Cycles(7 + i)
+		e.Spawn("a", func(p *Proc) {
+			for {
+				p.Advance(step)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run(Cycles(b.N))
+	b.StopTimer()
+	e.Close()
+}
+
+func BenchmarkGauss(b *testing.B) {
+	e := NewEngine(1)
+	rng := e.Rand()
+	for i := 0; i < b.N; i++ {
+		Gauss(rng, 250, 10)
+	}
+	e.Close()
+}

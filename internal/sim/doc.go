@@ -1,0 +1,24 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives a set of Actors, each of which models a hardware thread
+// (or background process) with its own local cycle clock. Actors are written
+// as ordinary imperative Go functions; every simulated operation they perform
+// advances their local clock and yields control back to the engine, which
+// always resumes the actor with the smallest local clock. Shared state
+// (caches, DRAM, the MEE) is therefore mutated in a single globally ordered
+// sequence of operations, making every run race-free and bit-for-bit
+// reproducible for a given seed.
+//
+// The engine provides:
+//
+//   - coroutine-style actors driven in global time order (Engine, Proc),
+//   - a seeded random source shared by the whole simulation (Engine.Rand),
+//   - busy-until shared Resources for modeling contention (e.g. the MEE is
+//     single-ported; concurrent accesses serialize and the latecomer stalls),
+//   - a cycle budget (Engine.Run) that cleanly terminates infinite actors
+//     such as timer threads and noise generators.
+//
+// Cycle counts use the Cycles type (an int64); the conversion between cycles
+// and wall-clock bandwidth is owned by the platform package, which knows the
+// simulated core frequency.
+package sim

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Cycles counts simulated CPU clock cycles. It is signed so that durations
+// and differences can be computed without conversion gymnastics; the engine
+// never lets simulated time go negative.
+type Cycles int64
+
+// killSentinel is panicked inside an actor goroutine when the engine tears
+// the actor down; the actor wrapper recovers it.
+type killSentinel struct{}
+
+// Engine is a deterministic discrete-event simulator. Actors are resumed one
+// at a time in order of their local clocks, so all shared-state mutation is
+// serialized and reproducible for a fixed seed.
+type Engine struct {
+	actors []*Actor
+	rng    *rand.Rand
+	killed bool
+	closed bool
+}
+
+// NewEngine returns an engine whose random stream is derived from seed.
+// The same seed always produces the same simulation.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Rand exposes the engine's seeded random source. Because actors execute in
+// a deterministic order, draws from this source are reproducible as well.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Spawn registers a new actor starting at cycle 0 and returns it. The body
+// runs in its own goroutine but only between Proc yield points chosen by the
+// engine, never concurrently with another actor.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Actor {
+	return e.SpawnAt(name, 0, body)
+}
+
+// SpawnAt registers an actor whose first operation executes at cycle start.
+func (e *Engine) SpawnAt(name string, start Cycles, body func(*Proc)) *Actor {
+	if e.closed {
+		panic("sim: Spawn on closed engine")
+	}
+	if start < 0 {
+		start = 0
+	}
+	a := &Actor{
+		name:   name,
+		id:     len(e.actors),
+		clock:  start,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		engine: e,
+	}
+	a.proc = &Proc{actor: a}
+	e.actors = append(e.actors, a)
+	go a.run(body)
+	return a
+}
+
+// pick returns the live actor with the smallest clock (ties broken by spawn
+// order), or nil if none remain.
+func (e *Engine) pick() *Actor {
+	var best *Actor
+	for _, a := range e.actors {
+		if a.done {
+			continue
+		}
+		if best == nil || a.clock < best.clock {
+			best = a
+		}
+	}
+	return best
+}
+
+// Run advances the simulation until every actor has finished or the next
+// runnable actor's clock exceeds limit. A negative limit means "no limit"
+// (run until all actors finish). It returns the clock of the last executed
+// operation. Run may be called repeatedly with growing limits; actors keep
+// their state between calls.
+func (e *Engine) Run(limit Cycles) Cycles {
+	if e.closed {
+		panic("sim: Run on closed engine")
+	}
+	var now Cycles
+	for {
+		a := e.pick()
+		if a == nil {
+			break
+		}
+		if limit >= 0 && a.clock > limit {
+			break
+		}
+		now = a.clock
+		a.step()
+		if a.panicVal != nil {
+			pv := a.panicVal
+			a.panicVal = nil
+			panic(fmt.Sprintf("sim: actor %q panicked: %v", a.name, pv))
+		}
+	}
+	return now
+}
+
+// Close kills every remaining actor and releases the engine. It is safe to
+// call Close on an engine whose actors have all finished.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.killed = true
+	for _, a := range e.actors {
+		for !a.done {
+			a.step()
+		}
+	}
+	e.closed = true
+}
+
+// Live reports how many actors have not yet finished.
+func (e *Engine) Live() int {
+	n := 0
+	for _, a := range e.actors {
+		if !a.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Actors returns the names of all actors, sorted, for diagnostics.
+func (e *Engine) Actors() []string {
+	names := make([]string, 0, len(e.actors))
+	for _, a := range e.actors {
+		names = append(names, a.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Gauss draws a normal sample with the given mean and standard deviation,
+// clamped to [mean-4*sigma, mean+4*sigma] and to a minimum of zero, rounded
+// to whole cycles. It is the standard latency-jitter helper used by the
+// timing models.
+func Gauss(rng *rand.Rand, mean, sigma float64) Cycles {
+	v := rng.NormFloat64()*sigma + mean
+	lo, hi := mean-4*sigma, mean+4*sigma
+	v = math.Max(lo, math.Min(hi, v))
+	if v < 0 {
+		v = 0
+	}
+	return Cycles(math.Round(v))
+}

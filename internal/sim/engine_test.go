@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSingleActorAdvances(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Cycles
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			trace = append(trace, p.Now())
+			p.Advance(10)
+		}
+	})
+	end := e.Run(-1)
+	if len(trace) != 5 {
+		t.Fatalf("got %d iterations, want 5", len(trace))
+	}
+	for i, c := range trace {
+		if c != Cycles(i*10) {
+			t.Errorf("iteration %d at cycle %d, want %d", i, c, i*10)
+		}
+	}
+	// The body's return is itself the final operation, at clock 50.
+	if end != 50 {
+		t.Errorf("final op at %d, want 50", end)
+	}
+	e.Close()
+}
+
+func TestGlobalOrderAcrossActors(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	mk := func(name string, step Cycles) func(*Proc) {
+		return func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				p.Advance(step)
+			}
+		}
+	}
+	e.Spawn("fast", mk("f", 10))
+	e.Spawn("slow", mk("s", 25))
+	e.Run(-1)
+	e.Close()
+	// f at 0,10,20; s at 0,25,50 -> merged by time with spawn-order ties:
+	// t=0: f, s; t=10: f; t=20: f; t=25: s; t=50: s
+	want := []string{"f", "s", "f", "f", "s", "s"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunLimitPausesAndResumes(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			count++
+			p.Advance(100)
+		}
+	})
+	e.Run(250) // ops at 0,100,200 execute; next would be 300
+	if count != 3 {
+		t.Fatalf("after limited run count=%d, want 3", count)
+	}
+	e.Run(-1)
+	if count != 10 {
+		t.Fatalf("after full run count=%d, want 10", count)
+	}
+	e.Close()
+}
+
+func TestCloseKillsInfiniteActor(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Advance(1)
+		}
+	})
+	e.Run(1000)
+	if e.Live() != 1 {
+		t.Fatalf("live=%d, want 1", e.Live())
+	}
+	e.Close()
+	if e.Live() != 0 {
+		t.Fatalf("after Close live=%d, want 0", e.Live())
+	}
+}
+
+func TestActorPanicPropagates(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("bad", func(p *Proc) {
+		p.Advance(1)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate out of Run")
+		}
+		e.Close()
+	}()
+	e.Run(-1)
+}
+
+func TestSleepUntil(t *testing.T) {
+	e := NewEngine(1)
+	var at Cycles
+	e.Spawn("a", func(p *Proc) {
+		p.SleepUntil(500)
+		at = p.Now()
+	})
+	e.Run(-1)
+	e.Close()
+	if at != 500 {
+		t.Fatalf("woke at %d, want 500", at)
+	}
+}
+
+func TestSleepUntilPastIsMinimal(t *testing.T) {
+	e := NewEngine(1)
+	var at Cycles
+	e.Spawn("a", func(p *Proc) {
+		p.Advance(100)
+		p.SleepUntil(50) // already past: costs the minimum 1 cycle
+		at = p.Now()
+	})
+	e.Run(-1)
+	e.Close()
+	if at != 101 {
+		t.Fatalf("woke at %d, want 101", at)
+	}
+}
+
+func TestResourceContention(t *testing.T) {
+	var r Resource
+	if s := r.Acquire(100, 50); s != 0 {
+		t.Fatalf("first acquire stall=%d, want 0", s)
+	}
+	if s := r.Acquire(120, 50); s != 30 {
+		t.Fatalf("overlapping acquire stall=%d, want 30", s)
+	}
+	if s := r.Acquire(500, 10); s != 0 {
+		t.Fatalf("late acquire stall=%d, want 0", s)
+	}
+	if r.BusyUntil() != 510 {
+		t.Fatalf("busyUntil=%d, want 510", r.BusyUntil())
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed uint64) []Cycles {
+		e := NewEngine(seed)
+		var samples []Cycles
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Advance(Gauss(p.Rand(), 250, 15))
+				samples = append(samples, p.Now())
+			}
+		})
+		e.Run(-1)
+		e.Close()
+		return samples
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestGaussClampsNonNegative(t *testing.T) {
+	e := NewEngine(7)
+	rng := e.Rand()
+	for i := 0; i < 10000; i++ {
+		if v := Gauss(rng, 10, 100); v < 0 {
+			t.Fatalf("negative latency %d", v)
+		}
+	}
+	e.Close()
+}
