@@ -9,7 +9,10 @@
 package meecc
 
 import (
+	"runtime"
 	"testing"
+
+	"meecc/internal/exp"
 )
 
 // mustRunChannel runs the channel, retrying setup failures under fresh
@@ -339,6 +342,35 @@ func BenchmarkDetectionStudy(b *testing.B) {
 	}
 	b.ReportMetric(llcAlarm, "llcAlarmRate")
 	b.ReportMetric(meeAlarm, "meeAlarmRate")
+}
+
+// BenchmarkExpHarness runs a two-cell, multi-trial window grid through the
+// internal/exp worker pool — the path cmd/figures and `meecc batch` use —
+// and reports the aggregated headline stats plus the pool's throughput.
+// On a multi-core machine the harness parallelizes across GOMAXPROCS
+// workers while keeping results byte-identical to a serial run.
+func BenchmarkExpHarness(b *testing.B) {
+	spec := &exp.Spec{
+		Name:     "bench",
+		Study:    "channel",
+		BaseSeed: 42,
+		Trials:   4,
+		Params:   map[string]string{"bits": "64", "pattern": "random"},
+		Axes:     []exp.Axis{{Name: "window", Values: []string{"10000", "15000"}}},
+	}
+	var kbps, ci float64
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.RunSpec(spec, exp.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := rep.Cell("window=15000")
+		kbps = c.Stat("kbps").Mean
+		ci = c.Stat("error_rate").CI95
+	}
+	b.ReportMetric(kbps, "KBps@15k")
+	b.ReportMetric(ci, "errCI95@15k")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkHeadlineChannel is the paper's abstract claim: ~35 KBps at 1.7%

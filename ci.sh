@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, race detector over the packages with
+# real cross-goroutine traffic, and a smoke batch run through the experiment
+# harness. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (internal/exp, internal/sim) =="
+go test -race ./internal/exp ./internal/sim
+
+echo "== smoke: meecc batch =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/meecc batch -spec examples/specs/smoke.json -out "$tmp"
+for f in smoke.json smoke.manifest.json; do
+    test -s "$tmp/$f" || { echo "missing artifact $f" >&2; exit 1; }
+done
+
+echo "== ci passed =="

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"meecc"
+	"meecc/internal/exp"
 	"meecc/internal/mee"
 	"meecc/internal/trace"
 )
@@ -33,18 +35,14 @@ import (
 var (
 	figFlag    = flag.String("fig", "all", "figure to regenerate: 4,5,6a,6b,7,8,M,E or all")
 	seedFlag   = flag.Uint64("seed", 42, "simulation seed")
-	trialsFlag = flag.Int("trials", 100, "trials per point for figure 4")
+	trialsFlag = flag.Int("trials", 100, "trials per grid cell for figures 4/7/8")
 	bitsFlag   = flag.Int("bits", 256, "payload bits for figures 7/8/M")
 	outFlag    = flag.String("out", "", "directory for CSV output (optional)")
+	workers    = flag.Int("workers", 0, "worker goroutines for multi-trial figures (0 = GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
-	if *outFlag != "" {
-		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
-			fatal(err)
-		}
-	}
 	runners := map[string]func() error{
 		"2":  fig2,
 		"4":  fig4,
@@ -88,16 +86,49 @@ func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
-func writeCSV(name string, write func(*os.File) error) error {
+func writeCSV(name string, write func(*os.File) error) (err error) {
 	if *outFlag == "" {
 		return nil
+	}
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		return err
 	}
 	f, err := os.Create(filepath.Join(*outFlag, name))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// A failed flush surfaces only at Close; don't mask it.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	return write(f)
+}
+
+// runGrid fans a figure's grid out over the worker pool with live
+// progress on stderr and, with -out, persists the artifact + manifest.
+func runGrid(spec *exp.Spec) (*exp.Report, error) {
+	rep, err := exp.RunSpec(spec, exp.Config{Workers: *workers, OnProgress: progressLine(spec.Name)})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr)
+	if *outFlag != "" {
+		if _, _, err := exp.WriteArtifacts(*outFlag, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// progressLine returns an OnProgress callback printing "cells done / ETA"
+// as a carriage-returned stderr status line.
+func progressLine(name string) func(exp.Progress) {
+	return func(p exp.Progress) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials, %d/%d cells, eta %s   ",
+			name, p.Done, p.Total, p.CellsDone, p.Cells, p.ETA().Round(1e9))
+	}
 }
 
 func fig2() error {
@@ -121,24 +152,33 @@ func fig2() error {
 
 func fig4() error {
 	header("Figure 4: eviction probability vs candidate address set size (§4.1)")
-	res, err := meecc.MeasureCapacity(meecc.DefaultOptions(*seedFlag), nil, *trialsFlag)
+	// One harness cell per EPC layout; each trial is a full capacity
+	// experiment with *trialsFlag eviction tests per candidate size.
+	rep, err := runGrid(&exp.Spec{
+		Name:     "fig4",
+		Study:    "capacity",
+		BaseSeed: *seedFlag,
+		Trials:   1,
+		Params:   map[string]string{"samples": strconv.Itoa(*trialsFlag)},
+		Axes:     []exp.Axis{{Name: "epc", Values: []string{"contiguous", "fragmented"}}},
+	})
 	if err != nil {
 		return err
 	}
-	optsChunked := meecc.DefaultOptions(*seedFlag + 1)
-	optsChunked.EPCMode = meecc.AllocChunked
-	resChunked, err := meecc.MeasureCapacity(optsChunked, nil, *trialsFlag)
-	if err != nil {
-		return err
+	contig, frag := rep.Cell("epc=contiguous"), rep.Cell("epc=fragmented")
+	if fails := rep.Failures(); fails > 0 {
+		return fmt.Errorf("%d capacity run(s) failed", fails)
 	}
 	tb := trace.NewTable("candidates", "P(evict) contiguous EPC", "P(evict) fragmented EPC")
-	rows := make([][]float64, 0, len(res.Points))
-	for i, p := range res.Points {
-		tb.Row(p.Candidates, p.Probability, resChunked.Points[i].Probability)
-		rows = append(rows, []float64{float64(p.Candidates), p.Probability, resChunked.Points[i].Probability})
+	var rows [][]float64
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		metric := fmt.Sprintf("p_evict_%d", n)
+		pc, pf := contig.Stat(metric).Mean, frag.Stat(metric).Mean
+		tb.Row(n, pc, pf)
+		rows = append(rows, []float64{float64(n), pc, pf})
 	}
 	tb.Render(os.Stdout)
-	fmt.Printf("inferred MEE cache capacity: %d KB (paper: 64 KB)\n", res.CapacityBytes/1024)
+	fmt.Printf("inferred MEE cache capacity: %.0f KB (paper: 64 KB)\n", contig.Stat("capacity_kb").Mean)
 	return writeCSV("fig4.csv", func(f *os.File) error {
 		return trace.WriteCSV(f, []string{"candidates", "p_evict_contiguous", "p_evict_fragmented"}, rows)
 	})
@@ -193,41 +233,84 @@ func fig6b() error {
 
 func fig7() error {
 	header("Figure 7: bit rate vs error rate across timing-window sizes (§5.4)")
-	pts := meecc.WindowSweep(meecc.DefaultOptions(*seedFlag), nil, *bitsFlag)
-	tb := trace.NewTable("window (cyc)", "bit rate (KBps)", "error rate", "errors")
+	windows := make([]string, 0, len(meecc.PaperWindows()))
+	for _, w := range meecc.PaperWindows() {
+		windows = append(windows, strconv.FormatInt(int64(w), 10))
+	}
+	rep, err := runGrid(&exp.Spec{
+		Name:     "fig7",
+		Study:    "channel",
+		BaseSeed: *seedFlag,
+		Trials:   *trialsFlag,
+		Params:   map[string]string{"bits": strconv.Itoa(*bitsFlag), "pattern": "random"},
+		Axes:     []exp.Axis{{Name: "window", Values: windows}},
+	})
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("window (cyc)", "bit rate (KBps)", "error rate (mean ± 95% CI)", "err min..max", "trials")
 	var rows [][]float64
-	for _, p := range pts {
-		if p.Err != nil {
-			tb.Row(int64(p.Window), "-", "-", p.Err.Error())
-			continue
-		}
-		tb.Row(int64(p.Window), p.KBps, p.ErrorRate, fmt.Sprintf("%d/%d", p.BitErrors, p.Bits))
-		rows = append(rows, []float64{float64(p.Window), p.KBps, p.ErrorRate})
+	for _, c := range rep.Cells {
+		w, _ := c.Cell.Get("window")
+		kbps, errRate := c.Stat("kbps"), c.Stat("error_rate")
+		tb.Row(w, kbps.Mean,
+			fmt.Sprintf("%.4f ± %.4f", errRate.Mean, errRate.CI95),
+			fmt.Sprintf("%.4f..%.4f", errRate.Min, errRate.Max),
+			fmt.Sprintf("%d (%d failed)", c.Trials, c.Failures))
+		wf, _ := strconv.ParseFloat(w, 64)
+		row := []float64{wf}
+		row = append(row, kbps.Columns()...)
+		row = append(row, errRate.Columns()...)
+		row = append(row, float64(c.Trials), float64(c.Failures))
+		rows = append(rows, row)
 	}
 	tb.Render(os.Stdout)
 	fmt.Println("paper anchors: ~35 KBps / 1.7% at 15000; 34% at 7500; knee between 7500 and 10000")
 	return writeCSV("fig7.csv", func(f *os.File) error {
-		return trace.WriteCSV(f, []string{"window_cycles", "kbps", "error_rate"}, rows)
+		header := append([]string{"window_cycles"}, trace.StatHeader("kbps")...)
+		header = append(header, trace.StatHeader("error_rate")...)
+		header = append(header, "trials", "failures")
+		return trace.WriteCSV(f, header, rows)
 	})
 }
 
 func fig8() error {
 	header("Figure 8: 128-bit '100100...' under noise environments (§5.4)")
-	runs := meecc.NoiseStudy(meecc.DefaultOptions(*seedFlag), 15000, 128)
-	tb := trace.NewTable("environment", "error bits", "error rate", "probe trace")
-	var rows [][]float64
-	for i, r := range runs {
-		if r.Err != nil {
-			tb.Row(r.Kind.String(), "-", "-", r.Err.Error())
-			continue
+	rep, err := runGrid(&exp.Spec{
+		Name:     "fig8",
+		Study:    "channel",
+		BaseSeed: *seedFlag,
+		Trials:   *trialsFlag,
+		Params:   map[string]string{"bits": "128", "pattern": "100", "window": "15000"},
+		Axes:     []exp.Axis{{Name: "noise", Values: []string{"none", "memory", "mee512", "mee4k"}}},
+	})
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("environment", "error bits (mean ± 95% CI)", "error rate", "min..max", "trials")
+	var rows [][]string
+	for _, c := range rep.Cells {
+		env, _ := c.Cell.Get("noise")
+		bits, errRate := c.Stat("bit_errors"), c.Stat("error_rate")
+		tb.Row(env,
+			fmt.Sprintf("%.2f ± %.2f", bits.Mean, bits.CI95),
+			errRate.Mean,
+			fmt.Sprintf("%.0f..%.0f", bits.Min, bits.Max),
+			fmt.Sprintf("%d (%d failed)", c.Trials, c.Failures))
+		row := []string{env}
+		for _, v := range append(bits.Columns(), errRate.Columns()...) {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
 		}
-		tb.Row(r.Kind.String(), r.Result.BitErrors, r.Result.ErrorRate, trace.Sparkline(toF(r.Result.ProbeTimes)))
-		rows = append(rows, []float64{float64(i), float64(r.Result.BitErrors), r.Result.ErrorRate})
+		row = append(row, strconv.Itoa(c.Trials), strconv.Itoa(c.Failures))
+		rows = append(rows, row)
 	}
 	tb.Render(os.Stdout)
 	fmt.Println("paper anchors: 1 error bit quiet, ~same under memory noise, 4–5 under MEE noise")
 	return writeCSV("fig8.csv", func(f *os.File) error {
-		return trace.WriteCSV(f, []string{"environment", "error_bits", "error_rate"}, rows)
+		header := append([]string{"environment"}, trace.StatHeader("bit_errors")...)
+		header = append(header, trace.StatHeader("error_rate")...)
+		header = append(header, "trials", "failures")
+		return trace.WriteCSVRecords(f, header, rows)
 	})
 }
 

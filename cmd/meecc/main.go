@@ -5,8 +5,9 @@
 //
 //	meecc [send] [-msg TEXT] [-window CYCLES] [-seed N] [-noise KIND]
 //	      [-policy NAME] [-reliable] [-inband] [-lanes N] [-v]
-//	meecc sweep    [-seed N] [-bits N]         # Figure 7
-//	meecc noise    [-seed N] [-bits N]         # Figure 8
+//	meecc sweep    [-seed N] [-bits N] [-trials N] [-workers N]  # Figure 7
+//	meecc noise    [-seed N] [-bits N] [-trials N] [-workers N]  # Figure 8
+//	meecc batch    -spec FILE [-out DIR] [-workers N]            # declarative grid
 //	meecc latency  [-seed N]                   # Figure 5
 //	meecc stealth  [-seed N]                   # MEE vs LLC P+P footprint
 //	meecc overhead [-seed N]                   # SGX slowdown curve
@@ -15,14 +16,25 @@
 //
 // Noise kinds: none, memory, mee512, mee4k. Policies: lru (default),
 // tree-plru, bit-plru, fifo, random, nru, srrip.
+//
+// The sweep, noise, and batch subcommands run on the internal/exp
+// experiment harness: every (cell, trial) pair fans out over a worker
+// pool, per-trial seeds derive deterministically from the base seed, and
+// results are byte-identical at any worker count. batch reads a JSON spec
+// (see examples/specs/) and writes a versioned artifact plus a run
+// manifest under -out.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 
 	"meecc"
+	"meecc/internal/core"
+	"meecc/internal/exp"
 	"meecc/internal/mee"
 	"meecc/internal/trace"
 )
@@ -37,6 +49,10 @@ var (
 	inband   = flag.Bool("inband", false, "synchronize in-band (no agreed transmission start)")
 	lanes    = flag.Int("lanes", 1, "parallel trojan lanes (1 or 2)")
 	bits     = flag.Int("bits", 256, "payload bits for sweep/noise studies")
+	trials   = flag.Int("trials", 1, "trials per grid cell for sweep/noise")
+	workers  = flag.Int("workers", 0, "worker goroutines for sweep/noise/batch (0 = GOMAXPROCS)")
+	specPath = flag.String("spec", "", "JSON experiment spec for batch")
+	outDir   = flag.String("out", "results", "artifact directory for batch")
 	verbose  = flag.Bool("v", false, "print the per-bit probe trace")
 )
 
@@ -54,6 +70,7 @@ func main() {
 		"send":     runSend,
 		"sweep":    runSweep,
 		"noise":    runNoise,
+		"batch":    runBatch,
 		"latency":  runLatency,
 		"stealth":  runStealth,
 		"overhead": runOverhead,
@@ -62,7 +79,7 @@ func main() {
 	}
 	run, ok := cmds[cmd]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, latency, stealth, overhead, timing, activity)\n", cmd)
+		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, latency, stealth, overhead, timing, activity)\n", cmd)
 		os.Exit(2)
 	}
 	if err := run(); err != nil {
@@ -76,18 +93,11 @@ func channelConfig() (meecc.ChannelConfig, error) {
 	cfg.Window = meecc.Cycles(*window)
 	cfg.Bits = meecc.BitsFromString(*msg)
 	cfg.Options.MEEPolicy = *policy
-	switch *noise {
-	case "none":
-		cfg.Noise = meecc.NoiseNone
-	case "memory":
-		cfg.Noise = meecc.NoiseMemory
-	case "mee512":
-		cfg.Noise = meecc.NoiseMEE512
-	case "mee4k":
-		cfg.Noise = meecc.NoiseMEE4K
-	default:
-		return cfg, fmt.Errorf("unknown noise kind %q", *noise)
+	kind, err := core.ParseNoiseKind(*noise)
+	if err != nil {
+		return cfg, err
 	}
+	cfg.Noise = kind
 	return cfg, nil
 }
 
@@ -163,31 +173,134 @@ func runSend() error {
 	return nil
 }
 
+// progressLine prints live fan-out state (cells done / ETA) to stderr.
+func progressLine(name string) func(exp.Progress) {
+	return func(p exp.Progress) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials, %d/%d cells, eta %s   ",
+			name, p.Done, p.Total, p.CellsDone, p.Cells, p.ETA().Round(1e9))
+	}
+}
+
+// runGrid executes a spec on the harness with live progress.
+func runGrid(spec *exp.Spec) (*exp.Report, error) {
+	rep, err := exp.RunSpec(spec, exp.Config{Workers: *workers, OnProgress: progressLine(spec.Name)})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr)
+	return rep, nil
+}
+
 func runSweep() error {
-	pts := meecc.WindowSweep(meecc.DefaultOptions(*seed), nil, *bits)
-	tb := trace.NewTable("window", "KBps", "error rate")
-	for _, p := range pts {
-		if p.Err != nil {
-			tb.Row(int64(p.Window), "-", p.Err.Error())
-			continue
-		}
-		tb.Row(int64(p.Window), p.KBps, p.ErrorRate)
+	windows := make([]string, 0, len(meecc.PaperWindows()))
+	for _, w := range meecc.PaperWindows() {
+		windows = append(windows, strconv.FormatInt(int64(w), 10))
+	}
+	rep, err := runGrid(&exp.Spec{
+		Name:     "sweep",
+		Study:    "channel",
+		BaseSeed: *seed,
+		Trials:   *trials,
+		Params:   map[string]string{"bits": strconv.Itoa(*bits), "pattern": "random"},
+		Axes:     []exp.Axis{{Name: "window", Values: windows}},
+	})
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("window", "KBps", "error rate (mean ± 95% CI)", "trials")
+	for _, c := range rep.Cells {
+		w, _ := c.Cell.Get("window")
+		e := c.Stat("error_rate")
+		tb.Row(w, c.Stat("kbps").Mean,
+			fmt.Sprintf("%.4f ± %.4f", e.Mean, e.CI95),
+			fmt.Sprintf("%d (%d failed)", c.Trials, c.Failures))
 	}
 	tb.Render(os.Stdout)
 	return nil
 }
 
 func runNoise() error {
-	runs := meecc.NoiseStudy(meecc.DefaultOptions(*seed), meecc.Cycles(*window), *bits)
-	tb := trace.NewTable("environment", "error bits", "error rate")
-	for _, r := range runs {
-		if r.Err != nil {
-			tb.Row(r.Kind.String(), "-", r.Err.Error())
-			continue
-		}
-		tb.Row(r.Kind.String(), r.Result.BitErrors, r.Result.ErrorRate)
+	rep, err := runGrid(&exp.Spec{
+		Name:     "noise",
+		Study:    "channel",
+		BaseSeed: *seed,
+		Trials:   *trials,
+		Params: map[string]string{
+			"bits":    strconv.Itoa(*bits),
+			"pattern": "100",
+			"window":  strconv.FormatInt(*window, 10),
+		},
+		Axes: []exp.Axis{{Name: "noise", Values: []string{"none", "memory", "mee512", "mee4k"}}},
+	})
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("environment", "error bits (mean ± 95% CI)", "error rate", "trials")
+	for _, c := range rep.Cells {
+		env, _ := c.Cell.Get("noise")
+		eb := c.Stat("bit_errors")
+		tb.Row(env,
+			fmt.Sprintf("%.2f ± %.2f", eb.Mean, eb.CI95),
+			c.Stat("error_rate").Mean,
+			fmt.Sprintf("%d (%d failed)", c.Trials, c.Failures))
 	}
 	tb.Render(os.Stdout)
+	return nil
+}
+
+// runBatch runs a JSON-described grid end to end: spec → worker-pool
+// fan-out → aggregated statistics → artifact + manifest under -out.
+func runBatch() error {
+	if *specPath == "" {
+		return fmt.Errorf("batch requires -spec FILE (see examples/specs/)")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := exp.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	rep, err := runGrid(spec)
+	if err != nil {
+		return err
+	}
+	artifact, manifest, err := exp.WriteArtifacts(*outDir, rep)
+	if err != nil {
+		return err
+	}
+
+	// Summary: one row per cell, every aggregated metric's mean ± CI.
+	var metrics []string
+	if len(rep.Cells) > 0 {
+		for name := range rep.Cells[0].Stats {
+			metrics = append(metrics, name)
+		}
+		sort.Strings(metrics)
+	}
+	header := []string{"cell", "trials"}
+	for _, m := range metrics {
+		header = append(header, m+" (mean ± 95% CI)")
+	}
+	tb := trace.NewTable(header...)
+	for _, c := range rep.Cells {
+		row := []any{c.Key, fmt.Sprintf("%d (%d failed)", c.Trials, c.Failures)}
+		for _, m := range metrics {
+			s := c.Stat(m)
+			row = append(row, fmt.Sprintf("%.4g ± %.4g", s.Mean, s.CI95))
+		}
+		tb.Row(row...)
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("\n%d cells × %d trials on %d workers in %s (%d failures)\n",
+		len(rep.Cells), spec.Trials, rep.Workers, rep.WallTime.Round(1e6), rep.Failures())
+	fmt.Printf("artifact: %s\nmanifest: %s\n", artifact, manifest)
+	// Partial failures are data (recorded per trial in the artifact), but a
+	// run where nothing succeeded should not look like success to scripts.
+	if total := len(rep.Cells) * spec.Trials; rep.Failures() == total {
+		return fmt.Errorf("all %d trials failed (first error recorded in %s)", total, artifact)
+	}
 	return nil
 }
 

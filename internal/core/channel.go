@@ -72,8 +72,20 @@ func (c *ChannelConfig) applyDefaults() {
 	if c.ProbePhase <= 0 || c.ProbePhase >= 1 {
 		c.ProbePhase = 0.65
 	}
+	// Normalize core placement: the threat model puts trojan, spy, and
+	// noise on three distinct physical cores. Resolve collisions
+	// deterministically — spy hops two cores away, then noise takes the
+	// lowest core distinct from both.
 	if c.SpyCore == c.TrojanCore {
 		c.SpyCore = (c.TrojanCore + 2) % 4
+	}
+	if c.NoiseCore == c.TrojanCore || c.NoiseCore == c.SpyCore {
+		for core := 0; core < 4; core++ {
+			if core != c.TrojanCore && core != c.SpyCore {
+				c.NoiseCore = core
+				break
+			}
+		}
 	}
 	if c.CalBudget <= 0 {
 		c.CalBudget = 2_000_000

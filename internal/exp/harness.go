@@ -1,0 +1,238 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"meecc/internal/trace"
+)
+
+// Metrics is one trial's scalar results, keyed by metric name.
+type Metrics map[string]float64
+
+// Job identifies one trial of one cell, with its derived seed.
+type Job struct {
+	Spec  *Spec
+	Cell  Cell
+	Trial int
+	Seed  uint64
+}
+
+// Params is the job's flat parameter view (spec constants + axis values).
+func (j Job) Params() map[string]string { return j.Spec.ParamMap(j.Cell) }
+
+// Runner executes one trial. It must be safe for concurrent use and must
+// depend only on the job (in particular its seed), never on shared mutable
+// state — the harness's determinism guarantee is exactly that the runner
+// is a pure function of the job.
+type Runner func(Job) (Metrics, error)
+
+// TrialResult records one finished trial in the artifact.
+type TrialResult struct {
+	Cell    int     `json:"cell"`
+	CellKey string  `json:"cell_key"`
+	Trial   int     `json:"trial"`
+	Seed    uint64  `json:"seed"`
+	Metrics Metrics `json:"metrics,omitempty"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// CellResult aggregates one cell across its trials.
+type CellResult struct {
+	Cell     Cell   `json:"cell"`
+	Key      string `json:"key"`
+	Trials   int    `json:"trials"`
+	Failures int    `json:"failures"`
+	// Stats summarizes each metric over the successful trials. JSON
+	// marshalling sorts the keys, keeping artifacts canonical.
+	Stats map[string]trace.Stat `json:"stats"`
+}
+
+// Stat returns the aggregate for a metric (zero Stat if absent).
+func (c *CellResult) Stat(metric string) trace.Stat { return c.Stats[metric] }
+
+// Progress reports fan-out state to a live observer.
+type Progress struct {
+	Done      int // trials finished
+	Total     int // trials overall
+	CellsDone int // cells with every trial finished
+	Cells     int
+	Elapsed   time.Duration
+}
+
+// ETA extrapolates the remaining wall time from current throughput.
+func (p Progress) ETA() time.Duration {
+	if p.Done == 0 || p.Done == p.Total {
+		return 0
+	}
+	return time.Duration(float64(p.Elapsed) / float64(p.Done) * float64(p.Total-p.Done))
+}
+
+// Config tunes one harness run.
+type Config struct {
+	// Workers sizes the pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// OnProgress, when set, is invoked (serialized) after every finished
+	// trial.
+	OnProgress func(Progress)
+}
+
+// Report is one complete harness run: every trial result in deterministic
+// (cell-major, then trial) order plus per-cell aggregates, with the
+// run's non-deterministic envelope (wall time, workers) kept separate
+// from the deterministic payload.
+type Report struct {
+	Spec     *Spec
+	Trials   []TrialResult
+	Cells    []CellResult
+	Workers  int
+	WallTime time.Duration
+}
+
+// Cell returns the aggregate whose key matches, or nil.
+func (r *Report) Cell(key string) *CellResult {
+	for i := range r.Cells {
+		if r.Cells[i].Key == key {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Failures counts failed trials across all cells.
+func (r *Report) Failures() int {
+	n := 0
+	for _, c := range r.Cells {
+		n += c.Failures
+	}
+	return n
+}
+
+// Run fans the spec's (cell × trial) jobs out over the worker pool and
+// aggregates per-cell statistics. Results are byte-identical for a given
+// spec at any worker count: seeds derive from (cell, trial), every result
+// lands at its precomputed index, and aggregation runs in trial order.
+func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if runner == nil {
+		return nil, fmt.Errorf("exp: spec %q: nil runner", spec.Name)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	cells := spec.Cells()
+	jobs := make([]Job, 0, len(cells)*spec.Trials)
+	for _, cell := range cells {
+		key := cell.Key()
+		for t := 0; t < spec.Trials; t++ {
+			jobs = append(jobs, Job{
+				Spec:  spec,
+				Cell:  cell,
+				Trial: t,
+				Seed:  TrialSeed(spec.BaseSeed, key, t),
+			})
+		}
+	}
+
+	start := time.Now()
+	results := make([]TrialResult, len(jobs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+
+	var mu sync.Mutex // guards done/cellDone and serializes OnProgress
+	done := 0
+	cellsDone := 0
+	cellRemaining := make([]int, len(cells))
+	for i := range cellRemaining {
+		cellRemaining[i] = spec.Trials
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				job := jobs[i]
+				tr := TrialResult{
+					Cell:    job.Cell.Index,
+					CellKey: job.Cell.Key(),
+					Trial:   job.Trial,
+					Seed:    job.Seed,
+				}
+				m, err := runner(job)
+				if err != nil {
+					tr.Err = err.Error()
+				} else {
+					tr.Metrics = m
+				}
+				results[i] = tr
+
+				mu.Lock()
+				done++
+				cellRemaining[job.Cell.Index]--
+				if cellRemaining[job.Cell.Index] == 0 {
+					cellsDone++
+				}
+				if cfg.OnProgress != nil {
+					cfg.OnProgress(Progress{
+						Done:      done,
+						Total:     len(jobs),
+						CellsDone: cellsDone,
+						Cells:     len(cells),
+						Elapsed:   time.Since(start),
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	report := &Report{
+		Spec:     spec,
+		Trials:   results,
+		Cells:    aggregate(cells, results, spec.Trials),
+		Workers:  workers,
+		WallTime: time.Since(start),
+	}
+	return report, nil
+}
+
+// aggregate folds the (already cell-major-ordered) trial results into
+// per-cell statistics.
+func aggregate(cells []Cell, results []TrialResult, trials int) []CellResult {
+	out := make([]CellResult, len(cells))
+	for ci, cell := range cells {
+		cr := CellResult{Cell: cell, Key: cell.Key(), Trials: trials, Stats: map[string]trace.Stat{}}
+		samples := map[string][]float64{}
+		var names []string
+		for t := 0; t < trials; t++ {
+			tr := results[ci*trials+t]
+			if tr.Err != "" {
+				cr.Failures++
+				continue
+			}
+			for name, v := range tr.Metrics {
+				if _, ok := samples[name]; !ok {
+					names = append(names, name)
+				}
+				samples[name] = append(samples[name], v)
+			}
+		}
+		for _, name := range names {
+			cr.Stats[name] = trace.NewStat(samples[name])
+		}
+		out[ci] = cr
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package exp
+
+// Deterministic per-trial seed derivation. The scheduling of the worker
+// pool must never influence results, so a trial's seed is a pure function
+// of (base seed, cell key, trial index): SplitMix64 over the base XORed
+// with an FNV-1a hash of the cell key and a scrambled trial index. Equal
+// specs produce equal seed tables at any worker count.
+
+// SplitMix64 is the finalizer of Steele et al.'s SplitMix64 generator — a
+// high-quality 64-bit mixing function.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64a hashes s with 64-bit FNV-1a.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// TrialSeed derives the simulation seed for one trial of one cell.
+func TrialSeed(base uint64, cellKey string, trial int) uint64 {
+	return SplitMix64(base ^ fnv64a(cellKey) ^ SplitMix64(uint64(trial)))
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"meecc/internal/core"
+)
+
+// studies maps Spec.Study names to runners. Every runner is a pure
+// function of the job's parameters and seed (see Runner's contract).
+var studies = map[string]Runner{
+	"channel": func(j Job) (Metrics, error) {
+		return core.ChannelTrial(j.Params(), j.Seed)
+	},
+	"capacity": func(j Job) (Metrics, error) {
+		return core.CapacityTrial(j.Params(), j.Seed)
+	},
+}
+
+// Studies lists the registered study names.
+func Studies() []string {
+	names := make([]string, 0, len(studies))
+	for name := range studies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunnerFor resolves a spec's study name ("" means "channel").
+func RunnerFor(study string) (Runner, error) {
+	if study == "" {
+		study = "channel"
+	}
+	r, ok := studies[study]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown study %q (have: %v)", study, Studies())
+	}
+	return r, nil
+}
+
+// RunSpec resolves the spec's study and runs it — the one-call entry point
+// for `meecc batch` and the figure regenerators.
+func RunSpec(spec *Spec, cfg Config) (*Report, error) {
+	runner, err := RunnerFor(spec.Study)
+	if err != nil {
+		return nil, err
+	}
+	return Run(spec, runner, cfg)
+}

@@ -133,15 +133,25 @@ func (s *Series) Add(x, y float64) {
 
 // WriteCSV emits a header row and numeric rows.
 func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	records := make([][]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprintf("%g", v)
+		}
+		records[i] = parts
+	}
+	return WriteCSVRecords(w, header, records)
+}
+
+// WriteCSVRecords writes pre-formatted cells, for tables whose leading
+// columns are categorical (e.g. noise environment names) rather than numeric.
+func WriteCSVRecords(w io.Writer, header []string, rows [][]string) error {
 	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
 	}
 	for _, row := range rows {
-		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = fmt.Sprintf("%g", v)
-		}
-		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
 		}
 	}
