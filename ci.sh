@@ -15,8 +15,16 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (internal/exp, internal/sim) =="
-go test -race ./internal/exp ./internal/sim
+echo "== go test -race (internal/exp, internal/fault, internal/sim) =="
+go test -race ./internal/exp ./internal/fault ./internal/sim
+
+echo "== fuzz smoke: internal/code =="
+# A short randomized pass over the decoder-facing fuzz targets: the channel
+# hands the decoder attacker-observed, noise-corrupted bits, so "never
+# panics, never returns unverified payloads" must hold for arbitrary input.
+for target in FuzzDecodeNeverPanics FuzzDecodeTruncatedStream; do
+    go test ./internal/code -run '^$' -fuzz "$target" -fuzztime 5s
+done
 
 echo "== smoke: meecc batch =="
 tmp=$(mktemp -d)

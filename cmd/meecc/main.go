@@ -8,6 +8,8 @@
 //	meecc sweep    [-seed N] [-bits N] [-trials N] [-workers N]  # Figure 7
 //	meecc noise    [-seed N] [-bits N] [-trials N] [-workers N]  # Figure 8
 //	meecc batch    -spec FILE [-out DIR] [-workers N]            # declarative grid
+//	meecc chaos    [-seed N] [-trials N] [-faults LIST] [-intensities LIST]
+//	               [-payload N] [-out DIR] [-workers N]          # fault campaign
 //	meecc latency  [-seed N]                   # Figure 5
 //	meecc stealth  [-seed N]                   # MEE vs LLC P+P footprint
 //	meecc overhead [-seed N]                   # SGX slowdown curve
@@ -26,15 +28,20 @@
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 
 	"meecc"
 	"meecc/internal/core"
 	"meecc/internal/exp"
+	"meecc/internal/fault"
 	"meecc/internal/mee"
 	"meecc/internal/trace"
 )
@@ -52,8 +59,12 @@ var (
 	trials   = flag.Int("trials", 1, "trials per grid cell for sweep/noise")
 	workers  = flag.Int("workers", 0, "worker goroutines for sweep/noise/batch (0 = GOMAXPROCS)")
 	specPath = flag.String("spec", "", "JSON experiment spec for batch")
-	outDir   = flag.String("out", "results", "artifact directory for batch")
+	outDir   = flag.String("out", "results", "artifact directory for batch/chaos")
 	verbose  = flag.Bool("v", false, "print the per-bit probe trace")
+
+	faults      = flag.String("faults", "all", "chaos fault kinds: all, none, or a comma list (migration,timer,paging,meeflush,storm)")
+	intensities = flag.String("intensities", "0,1,2,4,8", "chaos fault intensities (comma list)")
+	payloadLen  = flag.Int("payload", 16, "chaos payload length in bytes")
 )
 
 func main() {
@@ -71,6 +82,7 @@ func main() {
 		"sweep":    runSweep,
 		"noise":    runNoise,
 		"batch":    runBatch,
+		"chaos":    runChaos,
 		"latency":  runLatency,
 		"stealth":  runStealth,
 		"overhead": runOverhead,
@@ -79,7 +91,7 @@ func main() {
 	}
 	run, ok := cmds[cmd]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, latency, stealth, overhead, timing, activity)\n", cmd)
+		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity)\n", cmd)
 		os.Exit(2)
 	}
 	if err := run(); err != nil {
@@ -181,9 +193,23 @@ func progressLine(name string) func(exp.Progress) {
 	}
 }
 
-// runGrid executes a spec on the harness with live progress.
+// runGrid executes a spec on the harness with live progress. A first SIGINT
+// stops dispatching and drains in-flight trials so a partial artifact can
+// still be written; a second one kills the process the usual way.
 func runGrid(spec *exp.Spec) (*exp.Report, error) {
-	rep, err := exp.RunSpec(spec, exp.Config{Workers: *workers, OnProgress: progressLine(spec.Name)})
+	cancel := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	defer signal.Stop(sigCh)
+	go func() {
+		if _, ok := <-sigCh; !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\ninterrupt: draining in-flight trials (interrupt again to kill)\n")
+		close(cancel)
+		signal.Stop(sigCh)
+	}()
+	rep, err := exp.RunSpec(spec, exp.Config{Workers: *workers, OnProgress: progressLine(spec.Name), Cancel: cancel})
 	if err != nil {
 		return nil, err
 	}
@@ -295,6 +321,15 @@ func runBatch() error {
 	tb.Render(os.Stdout)
 	fmt.Printf("\n%d cells × %d trials on %d workers in %s (%d failures)\n",
 		len(rep.Cells), spec.Trials, rep.Workers, rep.WallTime.Round(1e6), rep.Failures())
+	if rep.Partial {
+		skipped := 0
+		for _, tr := range rep.Trials {
+			if tr.Err == exp.SkippedErr {
+				skipped++
+			}
+		}
+		fmt.Printf("PARTIAL RUN: interrupted with %d trials never dispatched (artifact flagged partial)\n", skipped)
+	}
 	fmt.Printf("artifact: %s\nmanifest: %s\n", artifact, manifest)
 	// Partial failures are data (recorded per trial in the artifact), but a
 	// run where nothing succeeded should not look like success to scripts.
@@ -302,6 +337,124 @@ func runBatch() error {
 		return fmt.Errorf("all %d trials failed (first error recorded in %s)", total, artifact)
 	}
 	return nil
+}
+
+// runChaos sweeps the fault-injection campaign over (kind × intensity),
+// comparing the static single-shot transfer against the adaptive resilient
+// session in every cell, and writes artifact + manifest + CSV under -out.
+func runChaos() error {
+	kinds, err := fault.ParseKinds(*faults)
+	if err != nil {
+		return err
+	}
+	if len(kinds) == 0 {
+		return fmt.Errorf("chaos requires at least one fault kind")
+	}
+	kindNames := make([]string, len(kinds))
+	for i, k := range kinds {
+		kindNames[i] = k.String()
+	}
+	var levels []string
+	for _, v := range strings.Split(*intensities, ",") {
+		v = strings.TrimSpace(v)
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return fmt.Errorf("chaos intensity %q: %v", v, err)
+		}
+		levels = append(levels, v)
+	}
+	spec := &exp.Spec{
+		Name:     "chaos",
+		Study:    "chaos",
+		BaseSeed: *seed,
+		Trials:   *trials,
+		Params:   map[string]string{"payload": strconv.Itoa(*payloadLen)},
+		Axes: []exp.Axis{
+			{Name: "faults", Values: kindNames},
+			{Name: "intensity", Values: levels},
+		},
+	}
+	rep, err := runGrid(spec)
+	if err != nil {
+		return err
+	}
+	artifact, manifest, err := exp.WriteArtifacts(*outDir, rep)
+	if err != nil {
+		return err
+	}
+	csvPath, err := writeChaosCSV(*outDir, rep)
+	if err != nil {
+		return err
+	}
+
+	tb := trace.NewTable("faults", "intensity", "static BER", "static ok", "adaptive ok", "goodput KBps (static/adaptive)", "trials")
+	for _, c := range rep.Cells {
+		kind, _ := c.Cell.Get("faults")
+		level, _ := c.Cell.Get("intensity")
+		tb.Row(kind, level,
+			fmt.Sprintf("%.3f", c.Stat("static_ber").Mean),
+			fmt.Sprintf("%.0f%%", 100*c.Stat("static_delivered").Mean),
+			fmt.Sprintf("%.0f%%", 100*c.Stat("adaptive_delivered").Mean),
+			fmt.Sprintf("%.2f / %.2f", c.Stat("static_goodput_kbps").Mean, c.Stat("adaptive_goodput_kbps").Mean),
+			fmt.Sprintf("%d (%d failed)", c.Trials, c.Failures))
+	}
+	tb.Render(os.Stdout)
+	if rep.Partial {
+		fmt.Println("PARTIAL RUN: interrupted before every trial was dispatched (artifact flagged partial)")
+	}
+	fmt.Printf("artifact: %s\nmanifest: %s\ncsv: %s\n", artifact, manifest, csvPath)
+	return nil
+}
+
+// writeChaosCSV renders the per-cell aggregates as one CSV row per cell
+// (axis values, then every metric's mean and 95% CI in sorted order).
+func writeChaosCSV(dir string, rep *exp.Report) (string, error) {
+	var metrics []string
+	seen := map[string]bool{}
+	for _, c := range rep.Cells {
+		for name := range c.Stats {
+			if !seen[name] {
+				seen[name] = true
+				metrics = append(metrics, name)
+			}
+		}
+	}
+	sort.Strings(metrics)
+
+	path := filepath.Join(dir, rep.Spec.Name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	w := csv.NewWriter(f)
+	header := []string{"faults", "intensity", "trials", "failures"}
+	for _, m := range metrics {
+		header = append(header, m+"_mean", m+"_ci95")
+	}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return "", err
+	}
+	for _, c := range rep.Cells {
+		kind, _ := c.Cell.Get("faults")
+		level, _ := c.Cell.Get("intensity")
+		row := []string{kind, level, strconv.Itoa(c.Trials), strconv.Itoa(c.Failures)}
+		for _, m := range metrics {
+			s := c.Stat(m)
+			row = append(row,
+				strconv.FormatFloat(s.Mean, 'g', -1, 64),
+				strconv.FormatFloat(s.CI95, 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }
 
 func runLatency() error {

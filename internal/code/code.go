@@ -87,6 +87,11 @@ func Interleave(bits []byte, depth int) []byte {
 		return out
 	}
 	n := len(bits)
+	if depth > n {
+		// Rows beyond the stream are empty; the transpose degenerates to
+		// the identity, so clamping keeps the loop bounded by the input.
+		depth = n
+	}
 	out := make([]byte, 0, n)
 	for col := 0; col < depth; col++ {
 		for i := col; i < n; i += depth {
@@ -104,6 +109,9 @@ func Deinterleave(bits []byte, depth int) []byte {
 		return out
 	}
 	n := len(bits)
+	if depth > n {
+		depth = n
+	}
 	out := make([]byte, n)
 	k := 0
 	for col := 0; col < depth; col++ {

@@ -15,6 +15,15 @@ func FuzzDecodeNeverPanics(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(make([]byte, 7))
 	f.Add(make([]byte, 77))
+	// A truncated transmission: the spy loses the channel mid-frame and
+	// hands the decoder a stream cut at an arbitrary (here odd) offset.
+	f.Add(seedBits[:len(seedBits)-1])
+	f.Add(seedBits[:len(seedBits)/2+1])
+	// A zero-length frame is legal (len byte 0 + CRC): its encoding must
+	// decode, and corruptions of it must fail cleanly.
+	emptyBits, _ := c.Encode(nil)
+	f.Add(emptyBits)
+	f.Add(emptyBits[:len(emptyBits)-3])
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		// Normalize to bits: the channel only ever produces 0/1.
 		bits := make([]byte, len(raw))
@@ -52,6 +61,64 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(got, payload) {
 			t.Fatalf("payload mismatch")
+		}
+	})
+}
+
+// FuzzDecodeTruncatedStream cuts a valid encoded stream at an arbitrary
+// offset before decoding — the spy losing the channel mid-frame. Whatever
+// the cut (including odd lengths that break the Hamming block structure),
+// the decoder must fail cleanly or produce a CRC-verified frame; it must
+// never panic and never hand back an unverified payload.
+func FuzzDecodeTruncatedStream(f *testing.F) {
+	f.Add([]byte("truncate me"), uint16(0), uint8(8))
+	f.Add([]byte{}, uint16(3), uint8(1))
+	f.Add([]byte("x"), uint16(13), uint8(0))
+	f.Fuzz(func(t *testing.T, payload []byte, cut uint16, depth uint8) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		c := Codec{InterleaveDepth: int(depth)}
+		bits, err := c.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int(cut) % (len(bits) + 1)
+		got, st, err := c.Decode(bits[:n])
+		if err == nil && !st.CRCOK {
+			t.Fatal("nil error with failed CRC on truncated stream")
+		}
+		if err == nil && n < len(bits) && !bytes.Equal(got, payload) {
+			// A shorter prefix may still decode (interleaving can leave a
+			// smaller intact frame); it must then be internally consistent.
+			if len(got) > MaxPayload {
+				t.Fatalf("truncated stream decoded to %d bytes", len(got))
+			}
+		}
+	})
+}
+
+// FuzzInterleaveRoundTrip checks that Deinterleave inverts Interleave for
+// arbitrary streams and depths — including the edge cases the channel layer
+// can produce: a zero-length frame, depth exceeding the frame length, and
+// non-positive depths (interleaving off).
+func FuzzInterleaveRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 4)
+	f.Add([]byte{1, 0, 1}, 8) // depth > frame length
+	f.Add([]byte{1}, 0)
+	f.Add(bytes.Repeat([]byte{1, 0}, 40), -3)
+	f.Fuzz(func(t *testing.T, raw []byte, depth int) {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		inter := Interleave(bits, depth)
+		if len(inter) != len(bits) {
+			t.Fatalf("interleave changed length %d -> %d (depth %d)", len(bits), len(inter), depth)
+		}
+		got := Deinterleave(inter, depth)
+		if !bytes.Equal(got, bits) {
+			t.Fatalf("roundtrip failed at depth %d, len %d", depth, len(bits))
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"meecc/internal/enclave"
+	"meecc/internal/fault"
 	"meecc/internal/platform"
 	"meecc/internal/sim"
 )
@@ -34,6 +35,10 @@ type ChannelConfig struct {
 	Repetition int
 	// Noise starts a background environment at transmission start.
 	Noise NoiseKind
+	// Fault, when non-nil, arms a deterministic chaos campaign on the run
+	// (see internal/fault). The schedule derives from Fault.Seed alone;
+	// Start/End default to the transmission interval when both are zero.
+	Fault *fault.Config
 
 	// Core placement (defaults: trojan 0, spy 2, noise 1 — distinct
 	// physical cores, as in the paper's threat model).
@@ -118,6 +123,8 @@ type ChannelResult struct {
 	// Footprint is what a hardware-counter detector would see during the
 	// transmission phase (setup excluded) — see the stealth study.
 	Footprint *AttackFootprint
+	// Faults is the applied-fault log when a chaos campaign was armed.
+	Faults []fault.Injected
 }
 
 // AlternatingBits returns '0101...' of length n (Figure 6's sequence).
@@ -151,6 +158,15 @@ func RandomBits(seed uint64, n int) []byte {
 	}
 	return out
 }
+
+// Enclave layout shared by RunChannel and RunResilient: a calibration pool
+// plus the candidate pages Algorithm 1 (trojan) and monitor discovery (spy)
+// work over.
+const (
+	calPages         = 8
+	trojanCandidates = 96
+	spyCandidates    = 24
+)
 
 // RunChannel executes one full covert-channel session: threshold
 // calibration on both sides, trojan eviction-set construction (Algorithm 1),
@@ -189,9 +205,6 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 
 	trojanProc := plat.NewProcess("trojan")
 	spyProc := plat.NewProcess("spy")
-	const calPages = 8
-	const trojanCandidates = 96
-	const spyCandidates = 24
 	if _, err := trojanProc.CreateEnclave(calPages + trojanCandidates); err != nil {
 		return nil, err
 	}
@@ -202,21 +215,29 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 	res := &ChannelResult{Sent: cfg.Bits}
 	var trojanErr, spyErr error
 
+	trojanCands := pageAddrs(trojanProc.Enclave().Base+enclave.VAddr(calPages*enclave.PageBytes), trojanCandidates, cfg.Index512)
+	spyCands := pageAddrs(spyProc.Enclave().Base+enclave.VAddr(calPages*enclave.PageBytes), spyCandidates, cfg.Index512)
+	// Live working sets, filled in by the actors once discovered; fault
+	// injection reads them (engine-serialized) to aim paging events at the
+	// pages that actually carry the channel.
+	var liveEvictionSet, liveMonitor []enclave.VAddr
+
 	// ------------------------------------------------------------------
 	// Trojan (Algorithm 2, sender side).
-	plat.SpawnThread("trojan", trojanProc, cfg.TrojanCore, func(th *platform.Thread) {
+	trojanTh := plat.SpawnThread("trojan", trojanProc, cfg.TrojanCore, func(th *platform.Thread) {
 		th.EnterEnclave()
 		base := trojanProc.Enclave().Base
 		threshold := calibrateThreshold(th, pageAddrs(base, calPages, cfg.Index512))
 		th.SpinUntil(tCalEnd)
 
-		cands := pageAddrs(base+enclave.VAddr(calPages*enclave.PageBytes), trojanCandidates, cfg.Index512)
+		cands := trojanCands
 		a1, err := FindEvictionSet(th, cands, threshold)
 		if err != nil {
 			trojanErr = err
 			return
 		}
 		evSet := a1.EvictionSet
+		liveEvictionSet = evSet
 		res.EvictionSetSize = len(evSet)
 		res.SetupCycles = th.Now()
 		if th.Now() > tSetupEnd {
@@ -260,7 +281,7 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 
 	// ------------------------------------------------------------------
 	// Spy (Algorithm 2, receiver side).
-	plat.SpawnThread("spy", spyProc, cfg.SpyCore, func(th *platform.Thread) {
+	spyTh := plat.SpawnThread("spy", spyProc, cfg.SpyCore, func(th *platform.Thread) {
 		th.EnterEnclave()
 		base := spyProc.Enclave().Base
 		// Calibrate in the second half of the calibration phase, staggered
@@ -272,7 +293,7 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 
 		// Monitor discovery: sample each candidate while the trojan
 		// bursts; the address the bursts keep evicting is the monitor.
-		cands := pageAddrs(base+enclave.VAddr(calPages*enclave.PageBytes), spyCandidates, cfg.Index512)
+		cands := spyCands
 		const samples = 10
 		bestScore, monitor := -1, enclave.VAddr(0)
 		for _, cand := range cands {
@@ -299,6 +320,7 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 			spyErr = fmt.Errorf("core: spy search overran its budget (%d > %d)", th.Now(), t0)
 			return
 		}
+		liveMonitor = []enclave.VAddr{monitor}
 
 		// Prime just before transmission starts (after the trojan's last
 		// search-phase burst), then decode each window (Algorithm 2, spy's
@@ -323,6 +345,22 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 	if err := spawnNoise(plat, cfg.Noise, cfg.NoiseCore, t0); err != nil {
 		return nil, err
 	}
+	var injector *fault.Injector
+	if cfg.Fault != nil {
+		fc := *cfg.Fault
+		if fc.Start == 0 && fc.End == 0 {
+			fc.Start, fc.End = t0, tEnd
+		}
+		injector = fault.NewPlan(fc).Attach(plat, fault.Targets{
+			Trojan: trojanTh, Spy: spyTh,
+			TrojanProc: trojanProc, SpyProc: spyProc,
+			TrojanPages: trojanCands, SpyPages: spyCands,
+			TrojanLive: func() []enclave.VAddr { return liveEvictionSet },
+			SpyLive:    func() []enclave.VAddr { return liveMonitor },
+			TrojanHome: cfg.TrojanCore, SpyHome: cfg.SpyCore,
+			StormCore:  cfg.NoiseCore,
+		})
+	}
 	// Snapshot detector-visible statistics over the transmission phase.
 	plat.Engine().SpawnAt("stats-reset", t0-1, func(p *sim.Proc) {
 		plat.Caches().LLC().ResetStats()
@@ -334,6 +372,9 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 
 	plat.Run(tEnd + cfg.Window)
 	res.Footprint = captureFootprint(plat)
+	if injector != nil {
+		res.Faults = injector.Log()
+	}
 	if trojanErr != nil {
 		return res, trojanErr
 	}

@@ -10,37 +10,76 @@ import (
 // ReliableResult reports a framed, forward-error-corrected transfer over
 // the covert channel — the error handling the paper defers.
 type ReliableResult struct {
-	// Channel is the underlying raw run.
+	// Channel is the underlying raw run (the last attempt's).
 	Channel *ChannelResult
-	// Payload is the decoded frame payload (nil if the CRC failed).
+	// Payload is the decoded frame payload (nil if any chunk's CRC failed).
 	Payload []byte
-	// Stats reports FEC corrections and checksum status.
+	// Stats aggregates FEC corrections across chunks and attempts; CRCOK is
+	// true only when every chunk arrived checksum-intact.
 	Stats code.DecodeStats
-	// GoodputKBps is payload bytes per second after coding overhead (and
-	// after retransmissions).
+	// GoodputKBps is payload bytes per second over every channel bit spent,
+	// across all attempts (pilot-free: this layer has no pilots).
 	GoodputKBps float64
 	// Attempts is how many transmissions were needed (ARQ on CRC failure).
 	Attempts int
+	// Chunks and ChunksDelivered count the ARQ units; RetransmittedChunks is
+	// how many chunk transmissions were repeats.
+	Chunks, ChunksDelivered, RetransmittedChunks int
 }
 
 // reliableAttempts is the ARQ retry budget: if the FEC cannot repair a
-// frame (CRC failure), the trojan retransmits under fresh channel
-// conditions, as a real sender would.
+// chunk (CRC failure), the trojan retransmits that chunk under fresh
+// channel conditions, as a real sender would.
 const reliableAttempts = 3
 
+// reliableChunkBytes is the ARQ unit: each chunk is its own
+// len+payload+CRC-16 frame, so one burst of errors costs one small
+// retransmission instead of the whole payload.
+const reliableChunkBytes = 8
+
 // RunReliable transmits payload over the channel with Hamming(7,4) FEC,
-// 8-deep interleaving, and CRC-16 framing, retransmitting up to two times
-// if the checksum fails. cfg.Bits is ignored; use cfg.Repetition on top
-// for extremely noisy environments.
+// 8-deep interleaving, and per-chunk CRC-16 framing. Chunks whose checksum
+// fails are retransmitted — only those chunks — up to two more times.
+// cfg.Bits is ignored; use cfg.Repetition on top for extremely noisy
+// environments.
 func RunReliable(cfg ChannelConfig, payload []byte) (*ReliableResult, error) {
-	codec := code.Codec{InterleaveDepth: 8}
-	bits, err := codec.Encode(payload)
-	if err != nil {
-		return nil, err
+	if len(payload) > code.MaxPayload {
+		return nil, fmt.Errorf("core: payload %d exceeds %d bytes", len(payload), code.MaxPayload)
 	}
-	var out *ReliableResult
+	codec := code.Codec{InterleaveDepth: 8}
+	var chunks [][]byte
+	for off := 0; off < len(payload); off += reliableChunkBytes {
+		end := off + reliableChunkBytes
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunks = append(chunks, payload[off:end])
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("core: reliable transfer of empty payload")
+	}
+	encoded := make([][]byte, len(chunks))
+	for i, ch := range chunks {
+		bits, err := codec.Encode(ch)
+		if err != nil {
+			return nil, err
+		}
+		encoded[i] = bits
+	}
+
+	out := &ReliableResult{Chunks: len(chunks)}
+	got := make([][]byte, len(chunks))
+	pending := make([]int, len(chunks))
+	for i := range pending {
+		pending[i] = i
+	}
+	totalBits := 0
 	var lastErr error
-	for attempt := 0; attempt < reliableAttempts; attempt++ {
+	for attempt := 0; attempt < reliableAttempts && len(pending) > 0; attempt++ {
+		var bits []byte
+		for _, ci := range pending {
+			bits = append(bits, encoded[ci]...)
+		}
 		attemptCfg := cfg
 		attemptCfg.Options.Seed = cfg.Options.Seed + uint64(attempt)*0x9E3779B9
 		attemptCfg.Bits = bits
@@ -48,21 +87,51 @@ func RunReliable(cfg ChannelConfig, payload []byte) (*ReliableResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = &ReliableResult{Channel: ch, Attempts: attempt + 1}
-		decoded, st, err := codec.Decode(ch.Received)
-		out.Stats = st
-		if err != nil {
-			lastErr = fmt.Errorf("core: reliable transfer failed after %d corrections: %w", st.Corrections, err)
-			continue
+		out.Channel = ch
+		out.Attempts = attempt + 1
+		totalBits += len(bits)
+		if attempt > 0 {
+			out.RetransmittedChunks += len(pending)
 		}
-		out.Payload = decoded
-		// Goodput: payload bits over channel bits across all attempts.
-		out.GoodputKBps = ch.KBps * float64(len(payload)*8) / float64(len(bits)) / float64(attempt+1)
-		if !bytes.Equal(decoded, payload) {
-			// CRC passed but content differs — a 2^-16 event worth surfacing.
-			return out, fmt.Errorf("core: reliable transfer CRC collision")
+
+		var still []int
+		off := 0
+		for _, ci := range pending {
+			n := len(encoded[ci])
+			decoded, st, err := codec.Decode(ch.Received[off : off+n])
+			off += n
+			out.Stats.Corrections += st.Corrections
+			if err != nil || len(decoded) != len(chunks[ci]) {
+				still = append(still, ci)
+				lastErr = fmt.Errorf("core: reliable transfer: chunk %d failed after %d corrections", ci, st.Corrections)
+				continue
+			}
+			got[ci] = decoded
+			out.ChunksDelivered++
 		}
-		return out, nil
+		pending = still
 	}
-	return out, lastErr
+
+	// Goodput folds every channel bit spent — original frames and
+	// retransmissions alike — into the denominator.
+	if out.Channel != nil && totalBits > 0 {
+		out.GoodputKBps = out.Channel.KBps * float64(len(payload)*8) / float64(totalBits)
+	}
+	if len(pending) > 0 {
+		return out, fmt.Errorf("core: reliable transfer failed: %d/%d chunks undelivered after %d attempts (%v)",
+			len(pending), len(chunks), reliableAttempts, lastErr)
+	}
+	assembled := make([]byte, 0, len(payload))
+	for _, g := range got {
+		assembled = append(assembled, g...)
+	}
+	out.Stats.CRCOK = true
+	out.Payload = assembled
+	if !bytes.Equal(assembled, payload) {
+		// CRC passed but content differs — a 2^-16 event worth surfacing.
+		out.Payload = nil
+		out.Stats.CRCOK = false
+		return out, fmt.Errorf("core: reliable transfer CRC collision")
+	}
+	return out, nil
 }

@@ -2,7 +2,11 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"testing"
+
+	"meecc/internal/code"
+	"meecc/internal/fault"
 )
 
 func TestReliableTransferCleanPayload(t *testing.T) {
@@ -47,5 +51,55 @@ func TestReliableRejectsOversizedPayload(t *testing.T) {
 	cfg := DefaultChannelConfig(406)
 	if _, err := RunReliable(cfg, make([]byte, 300)); err == nil {
 		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestReliableRetransmitsOnlyFailedChunks(t *testing.T) {
+	// meeflush at intensity 12 corrupts some bit windows but not most, so
+	// typically a subset of chunks fails the first pass — the ARQ must resend
+	// only those.
+	cfg := DefaultChannelConfig(407)
+	cfg.Fault = &fault.Config{Seed: 3, Kinds: []fault.Kind{fault.MEEFlush}, Intensity: 6}
+	payload := []byte("0123456789abcdef0123456789abcdef") // 4 chunks
+	res, err := RunReliable(cfg, payload)
+	if err != nil {
+		t.Fatalf("expected delivery at this calibrated intensity, got: %v (attempts %d)", err, res.Attempts)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatalf("payload corrupted: %q", res.Payload)
+	}
+	if res.Chunks != 4 || res.ChunksDelivered != 4 {
+		t.Fatalf("chunks %d/%d", res.ChunksDelivered, res.Chunks)
+	}
+	if res.Attempts < 2 {
+		t.Fatal("fault campaign caused no retransmission — scenario lost its teeth")
+	}
+	if res.RetransmittedChunks >= res.Chunks*(res.Attempts-1) {
+		t.Fatalf("retransmitted %d chunks over %d retries — whole-frame ARQ, not selective",
+			res.RetransmittedChunks, res.Attempts-1)
+	}
+	t.Logf("attempts=%d retransmitted=%d goodput=%.2f", res.Attempts, res.RetransmittedChunks, res.GoodputKBps)
+}
+
+func TestReliableGoodputFoldsAllAttempts(t *testing.T) {
+	// On a clean link 1 attempt suffices; goodput must equal the single-shot
+	// coding-overhead rate exactly, and any retransmission can only lower it.
+	cfg := DefaultChannelConfig(404)
+	payload := []byte("0123456789abcdef") // 2 chunks
+	res, err := RunReliable(cfg, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := code.Codec{InterleaveDepth: 8}
+	perChunk := codec.EncodedBits(8)
+	minBits := 2 * perChunk
+	singleShot := res.Channel.KBps * float64(len(payload)*8) / float64(minBits)
+	if res.Attempts == 1 {
+		if math.Abs(res.GoodputKBps-singleShot) > 1e-9 {
+			t.Fatalf("goodput %.4f != single-shot %.4f", res.GoodputKBps, singleShot)
+		}
+	} else if res.GoodputKBps >= singleShot {
+		t.Fatalf("goodput %.4f with %d attempts not below single-shot %.4f",
+			res.GoodputKBps, res.Attempts, singleShot)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"meecc/internal/enclave"
+	"meecc/internal/fault"
 	"meecc/internal/sim"
 )
 
@@ -57,10 +58,19 @@ func parseEPCMode(s string) (enclave.AllocMode, error) {
 //	repetition  repetition-coding factor
 //	twophase    "true"/"false": forward+backward eviction
 //	probephase  spy probe point as a window fraction (0..1)
+//	faults      fault kinds to inject: "all", "none", or a comma list
+//	            (migration,timer,paging,meeflush,storm)
+//	intensity   fault campaign intensity (default 1 when faults are set)
+//	faultseed   pins the fault schedule seed (default: derived from the
+//	            trial seed, so seed replicates see different schedules)
 func BuildChannelConfig(params map[string]string, seed uint64) (ChannelConfig, error) {
 	cfg := DefaultChannelConfig(seed)
 	nbits := len(cfg.Bits)
 	pattern := "random"
+	var faultKinds []fault.Kind
+	faultIntensity := 1.0
+	faultSeed := seed ^ 0x9e3779b97f4a7c15
+	haveFaults := false
 	for name, val := range params {
 		var err error
 		switch name {
@@ -84,6 +94,14 @@ func BuildChannelConfig(params map[string]string, seed uint64) (ChannelConfig, e
 			cfg.TwoPhaseEviction, err = strconv.ParseBool(val)
 		case "probephase":
 			cfg.ProbePhase, err = strconv.ParseFloat(val, 64)
+		case "faults":
+			faultKinds, err = fault.ParseKinds(val)
+			haveFaults = true
+		case "intensity":
+			faultIntensity, err = strconv.ParseFloat(val, 64)
+			haveFaults = true
+		case "faultseed":
+			faultSeed, err = strconv.ParseUint(val, 10, 64)
 		default:
 			return cfg, fmt.Errorf("core: unknown channel parameter %q", name)
 		}
@@ -93,6 +111,14 @@ func BuildChannelConfig(params map[string]string, seed uint64) (ChannelConfig, e
 	}
 	if nbits < 1 {
 		return cfg, fmt.Errorf("core: channel parameter bits must be >= 1, got %d", nbits)
+	}
+	if haveFaults && faultIntensity > 0 {
+		if faultKinds == nil && params["faults"] == "" {
+			faultKinds = fault.AllKinds()
+		}
+		if len(faultKinds) > 0 {
+			cfg.Fault = &fault.Config{Seed: faultSeed, Kinds: faultKinds, Intensity: faultIntensity}
+		}
 	}
 	switch pattern {
 	case "random":

@@ -46,6 +46,50 @@ type InBandResult struct {
 	KBps float64
 }
 
+// findFrame scans one attempt's decoded window stream for the sync word
+// followed by a complete payload, returning the payload bits. A corrupted
+// sync word, or a sync word too close to the stream's end for the payload
+// to fit, yields ok == false — the attempt failed and the sweep moves to
+// the next probe phase.
+func findFrame(decoded []byte, payloadLen int) (payload []byte, ok bool) {
+	for i := 0; i+payloadLen+len(syncWord) <= len(decoded); i++ {
+		match := true
+		for j, b := range syncWord {
+			if decoded[i+j] != b {
+				match = false
+				break
+			}
+		}
+		if match {
+			return decoded[i+len(syncWord) : i+len(syncWord)+payloadLen], true
+		}
+	}
+	return nil, false
+}
+
+// awaitTransmission polls the monitor slowly until two eviction-latency
+// events appear (one spike can fake a single event), returning the lock
+// time and the events seen. A deadline pass without lock returns time 0 —
+// the spy observed no transmission. Slow polling matters: re-priming the
+// monitor mid-pass would suppress the very evictions being watched for.
+func awaitTransmission(th *platform.Thread, monitor enclave.VAddr, threshold, window, deadline sim.Cycles) (sim.Cycles, int) {
+	th.Access(monitor)
+	th.Flush(monitor)
+	events := 0
+	for th.TimerNow() < deadline {
+		t := timedAccess(th, monitor)
+		th.Flush(monitor)
+		if t > threshold && t < threshold+400 {
+			events++
+			if events >= 2 {
+				return th.TimerNow(), events
+			}
+		}
+		th.Spin(2 * window / 3)
+	}
+	return 0, events
+}
+
 // RunInBandChannel is RunChannel without an agreed transmission start: the
 // trojan begins at a start time of its own choosing (derived from its
 // seed) and the spy synchronizes from the signal itself.
@@ -163,23 +207,8 @@ func RunInBandChannel(cfg ChannelConfig) (*InBandResult, error) {
 		// Slow polling matters: re-priming the monitor mid-pass would
 		// suppress the very evictions being watched for.
 		waitUntilTimer(th, tSearchEnd)
-		th.Access(monitor)
-		th.Flush(monitor)
-		var firstEvent sim.Cycles
 		acqDeadline := trojanStart + sim.Cycles(preambleBits/2)*cfg.Window
-		events := 0
-		for th.TimerNow() < acqDeadline {
-			t := timedAccess(th, monitor)
-			th.Flush(monitor)
-			if t > threshold && t < threshold+400 {
-				events++
-				if events >= 2 { // one spike can fake a single event
-					firstEvent = th.TimerNow()
-					break
-				}
-			}
-			th.Spin(2 * cfg.Window / 3)
-		}
+		firstEvent, events := awaitTransmission(th, monitor, threshold, cfg.Window, acqDeadline)
 		if firstEvent == 0 {
 			spyErr = fmt.Errorf("core: in-band acquisition saw no transmission")
 			return
@@ -203,22 +232,10 @@ func RunInBandChannel(cfg ChannelConfig) (*InBandResult, error) {
 					decoded = append(decoded, 0)
 				}
 			}
-			for i := 0; i+len(cfg.Bits)+len(syncWord) <= len(decoded); i++ {
-				match := true
-				for j, b := range syncWord {
-					if decoded[i+j] != b {
-						match = false
-						break
-					}
-				}
-				if match {
-					res.SyncFound = true
-					res.Attempt = attempt
-					res.Received = decoded[i+len(syncWord) : i+len(syncWord)+len(cfg.Bits)]
-					break
-				}
-			}
-			if res.SyncFound {
+			if payload, ok := findFrame(decoded, len(cfg.Bits)); ok {
+				res.SyncFound = true
+				res.Attempt = attempt
+				res.Received = payload
 				break
 			}
 		}

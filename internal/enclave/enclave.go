@@ -141,6 +141,25 @@ func (a *EPCAllocator) Owner(pa dram.Addr) int {
 // Free returns how many frames remain.
 func (a *EPCAllocator) Free() int { return len(a.frames) - a.next }
 
+// Realloc models an EPC paging round trip for the page in frame old: the
+// owning enclave keeps the page, but it comes back in a different physical
+// frame. The old frame goes to the back of the free list (it is reused only
+// after every never-used frame), keeping allocation deterministic.
+func (a *EPCAllocator) Realloc(old dram.Addr) (dram.Addr, error) {
+	old &^= PageBytes - 1
+	eid, ok := a.owner[old]
+	if !ok {
+		return 0, fmt.Errorf("enclave: Realloc of unowned frame %#x", old)
+	}
+	fresh, err := a.Alloc(eid)
+	if err != nil {
+		return 0, err
+	}
+	delete(a.owner, old)
+	a.frames = append(a.frames, old)
+	return fresh, nil
+}
+
 // Enclave is the metadata for one enclave instance.
 type Enclave struct {
 	ID    int

@@ -31,8 +31,11 @@ type Artifact struct {
 	// Params and Axes echo the spec so an artifact is self-describing.
 	Params map[string]string `json:"params,omitempty"`
 	Axes   []Axis            `json:"axes"`
-	Cells  []ArtifactCell    `json:"cells"`
-	Trials []TrialResult     `json:"trials"`
+	// Partial marks a cancelled run: some trials were never dispatched and
+	// carry SkippedErr instead of metrics.
+	Partial bool           `json:"partial,omitempty"`
+	Cells   []ArtifactCell `json:"cells"`
+	Trials  []TrialResult  `json:"trials"`
 }
 
 // ArtifactCell is one aggregated grid cell in the artifact.
@@ -57,6 +60,7 @@ type Manifest struct {
 	Cells         int    `json:"cells"`
 	TrialsPerCell int    `json:"trials_per_cell"`
 	FailedTrials  int    `json:"failed_trials"`
+	Partial       bool   `json:"partial,omitempty"`
 	Workers       int    `json:"workers"`
 	WallMS        int64  `json:"wall_ms"`
 	CreatedAt     string `json:"created_at"`
@@ -74,6 +78,7 @@ func (r *Report) Artifact() *Artifact {
 		TrialsPerCell: r.Spec.Trials,
 		Params:        r.Spec.Params,
 		Axes:          r.Spec.Axes,
+		Partial:       r.Partial,
 		Trials:        r.Trials,
 	}
 	if a.Axes == nil {
@@ -144,6 +149,7 @@ func WriteArtifacts(dir string, r *Report) (artifactPath, manifestPath string, e
 		Cells:          len(r.Cells),
 		TrialsPerCell:  r.Spec.Trials,
 		FailedTrials:   r.Failures(),
+		Partial:        r.Partial,
 		Workers:        r.Workers,
 		WallMS:         r.WallTime.Milliseconds(),
 		CreatedAt:      time.Now().UTC().Format(time.RFC3339),

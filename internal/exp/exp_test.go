@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -304,5 +305,131 @@ func TestWriteArtifactsRoundTrip(t *testing.T) {
 		if !strings.Contains(string(man), want) {
 			t.Errorf("manifest missing %s", want)
 		}
+	}
+}
+
+func TestPanickingTrialIsRecordedNotFatal(t *testing.T) {
+	runner := func(j Job) (Metrics, error) {
+		if v, _ := j.Cell.Get("mode"); v == "flaky" && j.Trial == 2 {
+			panic("trial blew up")
+		}
+		return fakeRunner(j)
+	}
+	rep, err := Run(gridSpec(), runner, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicked := 0
+	for _, tr := range rep.Trials {
+		if strings.Contains(tr.Err, "trial blew up") {
+			panicked++
+			if !strings.Contains(tr.Err, "runTrial") && !strings.Contains(tr.Err, "goroutine") {
+				t.Errorf("panic record carries no stack trace: %q", tr.Err[:80])
+			}
+		}
+	}
+	// One flaky-mode cell per window value, trial 2 of each.
+	if panicked != 3 {
+		t.Fatalf("recorded %d panicked trials, want 3", panicked)
+	}
+	// The panicking cells also have their scripted trial-1 failure.
+	for _, c := range rep.Cells {
+		if v, _ := c.Cell.Get("mode"); v == "flaky" && c.Failures != 2 {
+			t.Fatalf("cell %s: %d failures, want 2 (scripted + panic)", c.Key, c.Failures)
+		}
+	}
+}
+
+func TestCancelDrainsAndFlagsPartial(t *testing.T) {
+	cancel := make(chan struct{})
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	var once sync.Once
+	runner := func(j Job) (Metrics, error) {
+		started <- struct{}{}
+		once.Do(func() { close(cancel) }) // cancel as soon as the first trial runs
+		<-release
+		return fakeRunner(j)
+	}
+	spec := gridSpec()
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(spec, runner, Config{Workers: 2, Cancel: cancel})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	// Wait for the workers to pick up their in-flight trials, then let them
+	// drain. With 2 workers at most 2-3 trials ever start (one per worker
+	// plus at most one more the dispatcher had already queued).
+	<-started
+	close(release)
+	rep := <-done
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if !rep.Partial {
+		t.Fatal("cancelled run not flagged partial")
+	}
+	ran, skipped := 0, 0
+	for _, tr := range rep.Trials {
+		switch {
+		case tr.Err == SkippedErr:
+			skipped++
+		case tr.Err == "" && tr.Metrics != nil:
+			ran++
+		case strings.Contains(tr.Err, "scripted"):
+			ran++
+		default:
+			t.Fatalf("trial %+v neither ran nor skipped", tr)
+		}
+	}
+	if skipped == 0 || ran == 0 {
+		t.Fatalf("ran=%d skipped=%d, want both nonzero", ran, skipped)
+	}
+	if ran+skipped != len(rep.Trials) {
+		t.Fatalf("ran+skipped=%d != %d trials", ran+skipped, len(rep.Trials))
+	}
+	if ran > 4 {
+		t.Fatalf("%d trials ran after cancel; drain did not stop dispatch", ran)
+	}
+	// Skipped trials count as failures so aggregates stay honest.
+	if rep.Failures() < skipped {
+		t.Fatalf("failures %d < skipped %d", rep.Failures(), skipped)
+	}
+	// And the artifact carries the flag.
+	if !rep.Artifact().Partial {
+		t.Fatal("artifact not flagged partial")
+	}
+}
+
+// TestChaosArtifactByteIdenticalAcrossWorkers is the chaos-study acceptance
+// check: identical artifact bytes at any worker count, faults and all.
+func TestChaosArtifactByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec := &Spec{
+		Name:     "chaos-det",
+		Study:    "chaos",
+		BaseSeed: 7,
+		Trials:   1,
+		Params:   map[string]string{"payload": "4", "faults": "meeflush"},
+		Axes:     []Axis{{Name: "intensity", Values: []string{"0", "6"}}},
+	}
+	render := func(workers int) []byte {
+		rep, err := RunSpec(spec, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MarshalArtifact(rep.Artifact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := render(1), render(4); !bytes.Equal(a, b) {
+		t.Fatal("chaos artifacts differ between 1 and 4 workers")
 	}
 }

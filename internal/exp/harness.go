@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -77,6 +78,10 @@ type Config struct {
 	// OnProgress, when set, is invoked (serialized) after every finished
 	// trial.
 	OnProgress func(Progress)
+	// Cancel, when set and closed, stops the dispatcher: no new trials
+	// start, in-flight trials drain to completion, and the report comes
+	// back flagged Partial with the undispatched trials marked skipped.
+	Cancel <-chan struct{}
 }
 
 // Report is one complete harness run: every trial result in deterministic
@@ -89,7 +94,13 @@ type Report struct {
 	Cells    []CellResult
 	Workers  int
 	WallTime time.Duration
+	// Partial is true when the run was cancelled before every trial was
+	// dispatched; skipped trials carry Err == SkippedErr.
+	Partial bool
 }
+
+// SkippedErr marks trials a cancelled run never started.
+const SkippedErr = "skipped: run cancelled"
 
 // Cell returns the aggregate whose key matches, or nil.
 func (r *Report) Cell(key string) *CellResult {
@@ -165,7 +176,7 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 					Trial:   job.Trial,
 					Seed:    job.Seed,
 				}
-				m, err := runner(job)
+				m, err := runTrial(runner, job)
 				if err != nil {
 					tr.Err = err.Error()
 				} else {
@@ -192,11 +203,35 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 			}
 		}()
 	}
+	dispatched := len(jobs)
+dispatch:
 	for i := range jobs {
+		if cfg.Cancel != nil {
+			select {
+			case <-cfg.Cancel:
+				dispatched = i
+				break dispatch
+			case idxCh <- i:
+				continue
+			}
+		}
 		idxCh <- i
 	}
 	close(idxCh)
 	wg.Wait()
+
+	// Trials the cancel cut off are recorded as skipped, so the aggregates
+	// count them as failures instead of silently averaging over fewer
+	// samples than the spec asked for.
+	for i := dispatched; i < len(jobs); i++ {
+		results[i] = TrialResult{
+			Cell:    jobs[i].Cell.Index,
+			CellKey: jobs[i].Cell.Key(),
+			Trial:   jobs[i].Trial,
+			Seed:    jobs[i].Seed,
+			Err:     SkippedErr,
+		}
+	}
 
 	report := &Report{
 		Spec:     spec,
@@ -204,8 +239,20 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 		Cells:    aggregate(cells, results, spec.Trials),
 		Workers:  workers,
 		WallTime: time.Since(start),
+		Partial:  dispatched < len(jobs),
 	}
 	return report, nil
+}
+
+// runTrial invokes the runner with a panic guard: a panicking trial is one
+// failed trial in the artifact, not a crashed batch.
+func runTrial(runner Runner, job Job) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exp: trial panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return runner(job)
 }
 
 // aggregate folds the (already cell-major-ordered) trial results into

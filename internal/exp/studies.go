@@ -16,6 +16,9 @@ var studies = map[string]Runner{
 	"capacity": func(j Job) (Metrics, error) {
 		return core.CapacityTrial(j.Params(), j.Seed)
 	},
+	"chaos": func(j Job) (Metrics, error) {
+		return core.ChaosTrial(j.Params(), j.Seed)
+	},
 }
 
 // Studies lists the registered study names.

@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"meecc/internal/enclave"
+	"meecc/internal/platform"
+	"meecc/internal/sim"
+)
+
+func testConfig(seed uint64, kinds ...Kind) Config {
+	return Config{
+		Seed:      seed,
+		Kinds:     kinds,
+		Intensity: 1,
+		Start:     0,
+		End:       20_000_000,
+	}
+}
+
+func TestNewPlanDeterministic(t *testing.T) {
+	cfg := testConfig(7, AllKinds()...)
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different plans")
+	}
+	cfg.Seed = 8
+	c := NewPlan(cfg)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestNewPlanPureOfPlatformRNG(t *testing.T) {
+	// Building a plan must not consume platform randomness: two platforms
+	// booted with the same seed stay in lockstep whether or not a plan is
+	// built in between.
+	p1 := platform.New(platform.DefaultConfig(3))
+	defer p1.Close()
+	p2 := platform.New(platform.DefaultConfig(3))
+	defer p2.Close()
+	_ = NewPlan(testConfig(99, AllKinds()...))
+	if p1.Engine().Rand().Uint64() != p2.Engine().Rand().Uint64() {
+		t.Fatal("NewPlan perturbed the platform RNG stream")
+	}
+}
+
+func TestPlanEventsSortedAndWindowed(t *testing.T) {
+	p := NewPlan(testConfig(11, AllKinds()...))
+	if len(p.Events) == 0 {
+		t.Fatal("no events at intensity 1 over 20M cycles")
+	}
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i].At < p.Events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	slack := p.Config.withDefaults().ReturnAfter // migration bounces may return just past End
+	for _, ev := range p.Events {
+		if ev.At < p.Config.Start || ev.At >= p.Config.End+slack {
+			t.Fatalf("event at %d outside window [%d,%d)+%d", ev.At, p.Config.Start, p.Config.End, slack)
+		}
+	}
+	if len(p.Storm) == 0 {
+		t.Fatal("no storm windows")
+	}
+	for _, w := range p.Storm {
+		if w.End <= w.Start || w.Start < p.Config.Start || w.End > p.Config.End {
+			t.Fatalf("bad storm window %+v", w)
+		}
+	}
+}
+
+func TestIntensityScalesEventCount(t *testing.T) {
+	lo := NewPlan(Config{Seed: 5, Kinds: []Kind{Migration, Paging, MEEFlush}, Intensity: 0.5, End: 50_000_000})
+	hi := NewPlan(Config{Seed: 5, Kinds: []Kind{Migration, Paging, MEEFlush}, Intensity: 4, End: 50_000_000})
+	if len(hi.Events) <= len(lo.Events) {
+		t.Fatalf("intensity 4 produced %d events, intensity 0.5 produced %d", len(hi.Events), len(lo.Events))
+	}
+}
+
+func TestZeroIntensityOrWindowYieldsEmptyPlan(t *testing.T) {
+	if p := NewPlan(Config{Seed: 1, Kinds: AllKinds()}); len(p.Events) != 0 || len(p.Storm) != 0 {
+		t.Fatal("zero intensity produced events")
+	}
+	if p := NewPlan(Config{Seed: 1, Kinds: AllKinds(), Intensity: 1}); len(p.Events) != 0 {
+		t.Fatal("empty window produced events")
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("cosmic-ray"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	all, err := ParseKinds("all")
+	if err != nil || len(all) != int(numKinds) {
+		t.Errorf("ParseKinds(all) = %v, %v", all, err)
+	}
+	none, err := ParseKinds("none")
+	if err != nil || len(none) != 0 {
+		t.Errorf("ParseKinds(none) = %v, %v", none, err)
+	}
+	two, err := ParseKinds("migration, storm")
+	if err != nil || !reflect.DeepEqual(two, []Kind{Migration, Storm}) {
+		t.Errorf("ParseKinds(migration, storm) = %v, %v", two, err)
+	}
+	if _, err := ParseKinds("migration,flood"); err == nil {
+		t.Error("bad list accepted")
+	}
+}
+
+// bootSession boots a platform with trojan and spy enclave processes plus
+// idle endpoint threads that spin until `until`, and returns the armed
+// targets.
+func bootSession(t *testing.T, seed uint64, until sim.Cycles) (*platform.Platform, Targets) {
+	t.Helper()
+	plat := platform.New(platform.DefaultConfig(seed))
+	mk := func(name string, core int) (*platform.Process, *platform.Thread, []enclave.VAddr) {
+		pr := plat.NewProcess(name)
+		if _, err := pr.CreateEnclave(8); err != nil {
+			t.Fatal(err)
+		}
+		base := pr.Enclave().Base
+		pages := make([]enclave.VAddr, 8)
+		for i := range pages {
+			pages[i] = base + enclave.VAddr(i*enclave.PageBytes)
+		}
+		th := plat.SpawnThread(name, pr, core, func(th *platform.Thread) {
+			th.EnterEnclave()
+			for th.Now() < until {
+				th.Access(base)
+				th.SpinUntil(th.Now() + 5000)
+			}
+			th.ExitEnclave()
+		})
+		return pr, th, pages
+	}
+	tpr, tth, tpages := mk("trojan", 0)
+	spr, sth, spages := mk("spy", 2)
+	return plat, Targets{
+		Trojan: tth, Spy: sth,
+		TrojanProc: tpr, SpyProc: spr,
+		TrojanPages: tpages, SpyPages: spages,
+		TrojanHome: 0, SpyHome: 2,
+		StormCore: 1,
+	}
+}
+
+func TestAttachAppliesAllKinds(t *testing.T) {
+	const until = 10_000_000
+	plat, tg := bootSession(t, 21, until)
+	defer plat.Close()
+	cfg := testConfig(21, AllKinds()...)
+	cfg.End = until
+	cfg.Intensity = 4
+	in := NewPlan(cfg).Attach(plat, tg)
+	plat.Run(-1)
+
+	counts := in.Counts()
+	for _, k := range AllKinds() {
+		if counts[k] == 0 {
+			t.Errorf("no %s events applied (log: %v)", k, in.Log())
+		}
+	}
+	// Migration bounces always come in out/home pairs, so both endpoints end
+	// on their pinned cores.
+	if got := tg.Trojan.Core(); got != tg.TrojanHome {
+		t.Errorf("trojan finished on core %d, want %d", got, tg.TrojanHome)
+	}
+	if got := tg.Spy.Core(); got != tg.SpyHome {
+		t.Errorf("spy finished on core %d, want %d", got, tg.SpyHome)
+	}
+}
+
+func TestPagingEventMovesFrame(t *testing.T) {
+	const until = 30_000_000
+	plat, tg := bootSession(t, 22, until)
+	defer plat.Close()
+	type key struct {
+		proc *platform.Process
+		va   enclave.VAddr
+	}
+	before := make(map[key]uint64)
+	for _, va := range tg.TrojanPages {
+		pa, _ := tg.TrojanProc.Translate(va)
+		before[key{tg.TrojanProc, va}] = uint64(pa)
+	}
+	for _, va := range tg.SpyPages {
+		pa, _ := tg.SpyProc.Translate(va)
+		before[key{tg.SpyProc, va}] = uint64(pa)
+	}
+	cfg := testConfig(22, Paging)
+	cfg.End = until
+	cfg.Intensity = 8
+	in := NewPlan(cfg).Attach(plat, tg)
+	plat.Run(-1)
+	if in.Counts()[Paging] == 0 {
+		t.Fatal("no paging events applied")
+	}
+	moved := 0
+	for k, old := range before {
+		pa, ok := k.proc.Translate(k.va)
+		if !ok {
+			t.Fatalf("page %#x unmapped after repage", k.va)
+		}
+		if uint64(pa) != old {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("paging events applied but no frame moved")
+	}
+}
+
+func TestAttachSkipsMissingTargets(t *testing.T) {
+	plat := platform.New(platform.DefaultConfig(23))
+	defer plat.Close()
+	cfg := testConfig(23, Migration, Timer, Paging)
+	cfg.End = 5_000_000
+	cfg.Intensity = 2
+	in := NewPlan(cfg).Attach(plat, Targets{}) // no threads, no pages
+	plat.Run(-1)
+	if len(in.Log()) == 0 {
+		t.Fatal("expected skip records")
+	}
+	for _, i := range in.Log() {
+		if i.Note == "" || i.Note[0] != '!' {
+			t.Fatalf("event applied with no targets: %v", i)
+		}
+	}
+	for k, n := range in.Counts() {
+		if n != 0 {
+			t.Fatalf("Counts()[%s] = %d with everything skipped", k, n)
+		}
+	}
+}
+
+func TestAttachedRunDeterministic(t *testing.T) {
+	run := func() []Injected {
+		const until = 8_000_000
+		plat, tg := bootSession(t, 31, until)
+		defer plat.Close()
+		cfg := testConfig(31, AllKinds()...)
+		cfg.End = until
+		cfg.Intensity = 3
+		in := NewPlan(cfg).Attach(plat, tg)
+		plat.Run(-1)
+		return in.Log()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different injection logs")
+	}
+}

@@ -296,6 +296,46 @@ func (pr *Process) Translate(va enclave.VAddr) (dram.Addr, bool) {
 	return pr.pt.Translate(va)
 }
 
+// Repage models an EPC paging round trip (EWB + ELDU) on the enclave page
+// backing va: the page is evicted to unprotected backing store and reloaded
+// into a different physical EPC frame, so its versions line now maps to a
+// different MEE cache set — exactly the event that silently invalidates a
+// previously discovered eviction set. CPU-cache lines of the old frame are
+// invalidated (dirty ones written back through the MEE first), the page
+// table is remapped, and the old frame is returned to the allocator.
+//
+// Page contents are not copied: attack code only ever measures access
+// timing on EPC pages, never data values, and a freshly mapped frame reads
+// as an initialized (zero, MAC-valid) page.
+//
+// The fault is applied at simulated time `now`; the cost to the faulting
+// thread is modeled separately via Thread.Preempt.
+func (p *Platform) Repage(pr *Process, va enclave.VAddr, now sim.Cycles) error {
+	base := va &^ (enclave.PageBytes - 1)
+	old, ok := pr.pt.Translate(base)
+	if !ok {
+		return fmt.Errorf("platform: Repage at unmapped VA %#x", va)
+	}
+	if pr.encl == nil || p.epc.Owner(old) != pr.encl.ID {
+		return fmt.Errorf("platform: Repage at %#x: not an EPC page of %s", va, pr.name)
+	}
+	fresh, err := p.epc.Realloc(old)
+	if err != nil {
+		return err
+	}
+	// EWB invalidates every cached line of the evicted frame.
+	for off := 0; off < enclave.PageBytes; off += 64 {
+		victim, _ := p.caches.Flush(old + dram.Addr(off))
+		if victim != nil && victim.Dirty {
+			if _, _, err := p.mee.WriteData(now, p.rng, victim.Addr, victim.Data); err != nil {
+				return fmt.Errorf("platform: Repage writeback: %w", err)
+			}
+		}
+	}
+	pr.pt.Map(base, fresh)
+	return nil
+}
+
 // StartTimerThread spawns the Figure 2(c) helper: a thread of pr outside
 // enclave mode (on the sibling hyperthread in the paper's setup) that
 // continuously stores the time-stamp counter into ordinary shared memory.

@@ -19,6 +19,16 @@ type Thread struct {
 	core        int
 	sp          *sim.Proc
 	enclaveMode bool
+
+	// Fault-injection state (see internal/fault). pendingStall is time the
+	// thread has lost to an external event (preemption, page fault) that it
+	// pays at its next instruction; timerDrift/timerJitter perturb this
+	// thread's hyperthread-timer readings. All four fields are written by
+	// injector actors and read by this thread — safe because the engine
+	// serializes actors.
+	pendingStall sim.Cycles
+	timerDrift   sim.Cycles
+	timerJitter  float64
 }
 
 // AccessResult reports what one memory access did, for instrumentation.
@@ -32,23 +42,68 @@ type AccessResult struct {
 }
 
 // SpawnThread starts a thread of pr pinned to core, running body. The body
-// executes under the simulation engine like any actor.
-func (p *Platform) SpawnThread(name string, pr *Process, core int, body func(*Thread)) {
-	p.SpawnThreadAt(name, pr, core, 0, body)
+// executes under the simulation engine like any actor. The returned Thread
+// is the same handle the body receives — callers keep it to target the
+// thread with fault injection.
+func (p *Platform) SpawnThread(name string, pr *Process, core int, body func(*Thread)) *Thread {
+	return p.SpawnThreadAt(name, pr, core, 0, body)
 }
 
 // SpawnThreadAt is SpawnThread with a start cycle.
-func (p *Platform) SpawnThreadAt(name string, pr *Process, core int, start sim.Cycles, body func(*Thread)) {
+func (p *Platform) SpawnThreadAt(name string, pr *Process, core int, start sim.Cycles, body func(*Thread)) *Thread {
 	if core < 0 || core >= p.cfg.Cores {
 		panic(fmt.Sprintf("platform: core %d out of range", core))
 	}
+	th := &Thread{proc: pr, core: core}
 	p.eng.SpawnAt(name, start, func(sp *sim.Proc) {
-		body(&Thread{proc: pr, core: core, sp: sp})
+		th.sp = sp
+		body(th)
 	})
+	return th
 }
 
-// Core returns the core this thread is pinned to.
+// Core returns the core this thread is currently scheduled on.
 func (t *Thread) Core() int { return t.core }
+
+// SetCore migrates the thread to another physical core (scheduler
+// migration). The thread keeps running; its subsequent accesses see that
+// core's private L1/L2, so previously warm lines miss. Callers model the
+// scheduling cost separately via Preempt.
+func (t *Thread) SetCore(core int) {
+	if core < 0 || core >= t.proc.plat.cfg.Cores {
+		panic(fmt.Sprintf("platform: SetCore %d out of range", core))
+	}
+	t.core = core
+}
+
+// Preempt charges the thread `stall` cycles of lost time (AEX, scheduler
+// latency, page-fault handling) at its next instruction. Stalls from
+// multiple events accumulate. Time spent parked in SpinUntil absorbs the
+// stall for free, as on real hardware — preempting an idle-waiting thread
+// costs it nothing observable.
+func (t *Thread) Preempt(stall sim.Cycles) {
+	if stall > 0 {
+		t.pendingStall += stall
+	}
+}
+
+// AddTimerDrift skews this thread's hyperthread-timer readings by d
+// (cumulative): the helper thread publishing timestamps has fallen behind
+// (d < 0) or the reader's view runs ahead (d > 0).
+func (t *Thread) AddTimerDrift(d sim.Cycles) { t.timerDrift += d }
+
+// SetTimerJitter sets the ± bound of uniform noise on every subsequent
+// hyperthread-timer reading (0 disables).
+func (t *Thread) SetTimerJitter(j float64) { t.timerJitter = j }
+
+// payStall consumes any pending preemption stall before an instruction.
+func (t *Thread) payStall() {
+	if t.pendingStall > 0 {
+		d := t.pendingStall
+		t.pendingStall = 0
+		t.sp.Advance(d)
+	}
+}
 
 // Process returns the owning process.
 func (t *Thread) Process() *Process { return t.proc }
@@ -105,6 +160,7 @@ func (t *Thread) translate(va enclave.VAddr) (dram.Addr, bool) {
 // access is the common read/write path: CPU caches first, then the memory
 // system (MEE walk for protected lines, plain DRAM otherwise).
 func (t *Thread) access(va enclave.VAddr, write bool) AccessResult {
+	t.payStall()
 	pa, protected := t.translate(va)
 	p := t.proc.plat
 	rng := p.rng
@@ -196,6 +252,7 @@ func (t *Thread) WriteU64(va enclave.VAddr, val uint64) AccessResult {
 // Flush executes clflush on va's line: evicted from every CPU cache level
 // (writing back if dirty) but — critically — not from the MEE cache.
 func (t *Thread) Flush(va enclave.VAddr) {
+	t.payStall()
 	pa, _ := t.translate(va)
 	p := t.proc.plat
 	victim, lat := p.caches.Flush(pa)
@@ -213,6 +270,7 @@ func (t *Thread) Rdtsc() sim.Cycles {
 	if t.enclaveMode {
 		panic("platform: rdtsc #UD in enclave mode (SGX1)")
 	}
+	t.payStall()
 	now := t.sp.Now()
 	t.sp.Advance(sim.Cycles(t.proc.plat.cfg.RdtscCost))
 	return now
@@ -223,9 +281,13 @@ func (t *Thread) Rdtsc() sim.Cycles {
 // non-enclave memory, which this thread loads directly. The reading is
 // quantized to the timer thread's update period and costs ~50 cycles.
 func (t *Thread) TimerNow() sim.Cycles {
+	t.payStall()
 	p := t.proc.plat
 	res := sim.Cycles(p.cfg.TimerResolution)
-	val := t.sp.Now() / res * res
+	val := t.sp.Now()/res*res + t.timerDrift
+	if t.timerJitter > 0 {
+		val += sim.Cycles((p.rng.Float64()*2 - 1) * t.timerJitter)
+	}
 	t.sp.Advance(sim.Cycles(p.cfg.TimerReadCost))
 	return val
 }

@@ -22,7 +22,9 @@
 //   - characterization (§5.1): CharacterizeLatency;
 //   - the Prime+Probe baseline (§5.2): RunPrimeProbe;
 //   - evaluation sweeps (§5.4): WindowSweep, NoiseStudy;
-//   - extensions: MitigationStudy, EvictionStudy.
+//   - extensions: MitigationStudy, EvictionStudy;
+//   - robustness: FaultConfig (deterministic fault injection) and
+//     RunResilient (the adaptive session layer that survives it).
 //
 // Quickstart (see examples/quickstart):
 //
@@ -37,6 +39,7 @@ package meecc
 import (
 	"meecc/internal/core"
 	"meecc/internal/enclave"
+	"meecc/internal/fault"
 	"meecc/internal/platform"
 	"meecc/internal/sim"
 )
@@ -226,6 +229,71 @@ type ReliableResult = core.ReliableResult
 // to future work.
 func RunReliable(cfg ChannelConfig, payload []byte) (*ReliableResult, error) {
 	return core.RunReliable(cfg, payload)
+}
+
+// FaultKind enumerates the deterministic fault injectors (thread migration,
+// timer jitter/drift, EPC paging, MEE-cache flushes, noise storms).
+type FaultKind = fault.Kind
+
+// FaultConfig selects which faults to inject into a run and how hard; the
+// schedule is a pure function of its seed.
+type FaultConfig = fault.Config
+
+// FaultEvent is one scheduled fault occurrence, echoed back in results.
+type FaultEvent = fault.Event
+
+// Fault kinds.
+const (
+	FaultMigration = fault.Migration
+	FaultTimer     = fault.Timer
+	FaultPaging    = fault.Paging
+	FaultMEEFlush  = fault.MEEFlush
+	FaultStorm     = fault.Storm
+)
+
+// AllFaultKinds returns every fault kind.
+func AllFaultKinds() []FaultKind { return fault.AllKinds() }
+
+// ResilientConfig parameterizes the adaptive session layer.
+type ResilientConfig = core.ResilientConfig
+
+// ResilientResult reports an adaptive session: the payload (when delivered),
+// goodput, and the degradation report of every control action taken.
+type ResilientResult = core.ResilientResult
+
+// DegradationReport is the ordered log of control actions a resilient
+// session took (retransmissions, recalibrations, resyncs, window widening,
+// repetition coding, aborts).
+type DegradationReport = core.DegradationReport
+
+// ActionKind labels one control action in a DegradationReport.
+type ActionKind = core.ActionKind
+
+// Control actions the adaptive session layer can take.
+const (
+	ActRetransmit  = core.ActRetransmit
+	ActRecalibrate = core.ActRecalibrate
+	ActResync      = core.ActResync
+	ActWidenWindow = core.ActWidenWindow
+	ActRepetition  = core.ActRepetition
+	ActBackoff     = core.ActBackoff
+	ActAbort       = core.ActAbort
+)
+
+// DefaultResilientConfig returns the adaptive session layer's defaults on
+// the paper's operating point.
+func DefaultResilientConfig(seed uint64) ResilientConfig {
+	return core.DefaultResilientConfig(seed)
+}
+
+// RunResilient transmits payload through the adaptive session layer:
+// chunked ARQ with per-chunk CRC, pilot-based link-health probing,
+// threshold recalibration, eviction-set re-acquisition, and graceful
+// degradation (window widening, then repetition coding). It either delivers
+// a CRC-intact payload or returns an explicit degradation error — never a
+// silently corrupted result.
+func RunResilient(cfg ResilientConfig, payload []byte) (*ResilientResult, error) {
+	return core.RunResilient(cfg, payload)
 }
 
 // DetectionRow reports one workload's visibility to the HPC attack monitor.

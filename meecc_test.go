@@ -103,3 +103,27 @@ func TestFacadeActivityAndOverhead(t *testing.T) {
 		t.Fatalf("slowdown %.2f", rows[0].Slowdown())
 	}
 }
+
+func TestFacadeResilientUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resilient session in -short mode")
+	}
+	cfg := DefaultResilientConfig(2025)
+	cfg.Fault = &FaultConfig{Seed: 5, Kinds: []FaultKind{FaultMigration}, Intensity: 2}
+	payload := []byte("key")
+	res, err := RunResilient(cfg, payload)
+	if err != nil {
+		// Degradation must be explicit, never silent: an error comes with a
+		// recorded abort.
+		if res == nil || res.Report.Count(ActAbort) == 0 {
+			t.Fatalf("error without recorded abort: %v", err)
+		}
+		t.Logf("explicit degradation: %v", err)
+		return
+	}
+	if string(res.Payload) != string(payload) {
+		t.Fatalf("payload corrupted: %q", res.Payload)
+	}
+	t.Logf("delivered %d/%d chunks, %d control actions, goodput %.2f KBps",
+		res.ChunksDelivered, res.Chunks, len(res.Report.Actions), res.GoodputKBps)
+}
