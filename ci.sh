@@ -1,10 +1,34 @@
 #!/bin/sh
 # CI gate: vet, build, full test suite, race detector over the packages with
-# real cross-goroutine traffic, and a smoke batch run through the experiment
-# harness. Exits non-zero on the first failure.
+# real cross-goroutine traffic, a benchmark smoke pass, and a smoke batch run
+# through the experiment harness. Exits non-zero on the first failure.
+#
+# `./ci.sh bench` instead runs the full benchmark suites with -benchmem and
+# writes a benchstat-comparable baseline to results/bench.json (tune with
+# BENCH_COUNT / BENCH_TIME / BENCH_PATTERN). Compare a working tree against
+# the committed baseline with:
+#
+#	go run ./cmd/benchjson -print results/bench.json > /tmp/old.txt
+#	go test -run '^$' -bench . -benchmem -count 5 ./... > /tmp/new.txt
+#	benchstat /tmp/old.txt /tmp/new.txt
 set -eu
 
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "bench" ]; then
+    count="${BENCH_COUNT:-5}"
+    time="${BENCH_TIME:-1s}"
+    pattern="${BENCH_PATTERN:-.}"
+    out="${BENCH_OUT:-results/bench.json}"
+    txt="${out%.json}.txt"
+    mkdir -p "$(dirname "$out")"
+    echo "== bench: -bench $pattern -count $count -benchtime $time -> $out =="
+    go test -run '^$' -bench "$pattern" -benchmem -count "$count" -benchtime "$time" ./... | tee "$txt"
+    go run ./cmd/benchjson -o "$out" < "$txt"
+    rm -f "$txt"
+    echo "== bench baseline written: $out =="
+    exit 0
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -17,6 +41,11 @@ go test ./...
 
 echo "== go test -race (internal/exp, internal/fault, internal/sim) =="
 go test -race ./internal/exp ./internal/fault ./internal/sim
+
+echo "== bench smoke (1 iteration per benchmark) =="
+# One iteration of every benchmark: catches benchmarks that panic or hang
+# without paying for statistically meaningful timings (that's `ci.sh bench`).
+go test -run '^$' -bench . -benchtime 1x ./...
 
 echo "== fuzz smoke: internal/code =="
 # A short randomized pass over the decoder-facing fuzz targets: the channel

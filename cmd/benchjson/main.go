@@ -1,0 +1,149 @@
+// Command benchjson converts `go test -bench` text output into a versioned
+// JSON artifact, and back. It is the storage format behind `./ci.sh bench`:
+// the JSON carries both parsed per-benchmark values (for dashboards and
+// quick jq queries) and the raw benchmark lines verbatim, so a stored
+// baseline can be replayed into benchstat at any time:
+//
+//	go test -run '^$' -bench . -benchmem -count 5 ./... | benchjson -o results/bench.json
+//	benchjson -print results/bench.json > old.txt
+//	go test -run '^$' -bench . -benchmem -count 5 ./... > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Values holds every "value unit" pair
+// after the iteration count, keyed by unit (ns/op, B/op, allocs/op, plus any
+// custom b.ReportMetric units such as KBps or err/bit).
+type Benchmark struct {
+	Name   string             `json:"name"`
+	Pkg    string             `json:"pkg,omitempty"`
+	N      int64              `json:"n"`
+	Values map[string]float64 `json:"values"`
+	Raw    string             `json:"raw"`
+}
+
+// File is the bench.json schema. Raw preserves the complete go test output
+// line for line; parsing it again must reproduce Benchmarks.
+type File struct {
+	SchemaVersion int         `json:"schema_version"`
+	Goos          string      `json:"goos,omitempty"`
+	Goarch        string      `json:"goarch,omitempty"`
+	CPU           string      `json:"cpu,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+	Raw           []string    `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file (default stdout)")
+	print := flag.String("print", "", "re-emit the raw benchmark text stored in a bench.json")
+	flag.Parse()
+
+	if *print != "" {
+		if err := emitRaw(*print); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func emitRaw(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	for _, line := range f.Raw {
+		fmt.Fprintln(w, line)
+	}
+	return w.Flush()
+}
+
+// parse consumes go test -bench output. Context lines (goos/goarch/cpu/pkg)
+// apply to the benchmark lines that follow them, matching the format go test
+// emits per tested package.
+func parse(r io.Reader) (*File, error) {
+	f := &File{SchemaVersion: 1}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		f.Raw = append(f.Raw, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				f.Benchmarks = append(f.Benchmarks, b)
+			}
+		}
+	}
+	return f, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   10   123456 ns/op   500 B/op   7 allocs/op   33.3 KBps
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Pkg: pkg, N: n, Values: map[string]float64{}, Raw: line}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Values[fields[i+1]] = v
+	}
+	return b, true
+}

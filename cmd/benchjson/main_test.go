@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: meecc
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig6bCovertChannel 	       2	  97245250 ns/op	        33.33 KBps	         0.03333 err/bit	 5761944 B/op	   38909 allocs/op
+BenchmarkFig8Noise          	       2	 547205127 ns/op	         6.000 errBitsMEE4K	         1.000 errBitsQuiet	31911632 B/op	  165397 allocs/op
+PASS
+ok  	meecc	1.969s
+pkg: meecc/internal/sim
+BenchmarkActorSwitch-8   	 5000000	       250.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	f, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" {
+		t.Fatalf("context lines not captured: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkFig6bCovertChannel" || b.Pkg != "meecc" || b.N != 2 {
+		t.Fatalf("bench header wrong: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 97245250, "KBps": 33.33, "err/bit": 0.03333, "B/op": 5761944, "allocs/op": 38909,
+	} {
+		if got := b.Values[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if f.Benchmarks[2].Pkg != "meecc/internal/sim" {
+		t.Errorf("pkg context did not advance: %q", f.Benchmarks[2].Pkg)
+	}
+	// Raw must round-trip the input verbatim, line for line.
+	if got := strings.Join(f.Raw, "\n") + "\n"; got != sample {
+		t.Error("raw lines do not round-trip the input")
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",                     // no fields
+		"BenchmarkBroken 12",                  // no measurements
+		"BenchmarkBroken x 100 ns/op",         // bad iteration count
+		"BenchmarkBroken 2 fast ns/op",        // bad value
+		"BenchmarkBroken 2 100 ns/op dangler", // odd trailing field
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}

@@ -19,6 +19,9 @@
 // Noise kinds: none, memory, mee512, mee4k. Policies: lru (default),
 // tree-plru, bit-plru, fifo, random, nru, srrip.
 //
+// Every command additionally accepts -cpuprofile FILE and -memprofile FILE
+// to capture pprof profiles of the run (inspect with `go tool pprof FILE`).
+//
 // The sweep, noise, and batch subcommands run on the internal/exp
 // experiment harness: every (cell, trial) pair fans out over a worker
 // pool, per-trial seeds derive deterministically from the base seed, and
@@ -34,6 +37,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,6 +70,9 @@ var (
 	faults      = flag.String("faults", "all", "chaos fault kinds: all, none, or a comma list (migration,timer,paging,meeflush,storm)")
 	intensities = flag.String("intensities", "0,1,2,4,8", "chaos fault intensities (comma list)")
 	payloadLen  = flag.Int("payload", 16, "chaos payload length in bytes")
+
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 )
 
 func main() {
@@ -94,10 +102,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity)\n", cmd)
 		os.Exit(2)
 	}
-	if err := run(); err != nil {
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meecc:", err)
+		os.Exit(2)
+	}
+	err = run()
+	stopProfiles() // before exit: os.Exit skips deferred writers
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "meecc:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles honors -cpuprofile/-memprofile. The returned stop function
+// finishes the CPU profile and snapshots the heap; it must run before
+// os.Exit.
+func startProfiles() (stop func(), err error) {
+	stop = func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	stop = func() {
+		cpuStop()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meecc: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-set statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "meecc: memprofile:", err)
+		}
+	}
+	return stop, nil
 }
 
 func channelConfig() (meecc.ChannelConfig, error) {

@@ -91,9 +91,20 @@ func (c *Cache) ResetStats() {
 // the signal hardware-performance-counter detectors of cache attacks watch
 // for (a covert channel hammers one set; benign traffic spreads out).
 func (c *Cache) EvictionsBySet() []uint64 {
-	out := make([]uint64, len(c.evBySet))
-	copy(out, c.evBySet)
-	return out
+	return c.EvictionsBySetInto(nil)
+}
+
+// EvictionsBySetInto copies the per-set eviction counters into dst, growing
+// it only if its capacity is insufficient, and returns the filled slice.
+// Periodic samplers (e.g. the detect monitor) pass their previous buffer to
+// keep the polling loop allocation-free.
+func (c *Cache) EvictionsBySetInto(dst []uint64) []uint64 {
+	if cap(dst) < len(c.evBySet) {
+		dst = make([]uint64, len(c.evBySet))
+	}
+	dst = dst[:len(c.evBySet)]
+	copy(dst, c.evBySet)
+	return dst
 }
 
 // MaxSetEvictions returns the hottest set's eviction count and its index.

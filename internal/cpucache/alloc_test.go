@@ -1,0 +1,48 @@
+package cpucache
+
+import (
+	"testing"
+
+	"meecc/internal/cache"
+	"meecc/internal/dram"
+)
+
+// TestWarmAccessAllocFree pins the hierarchy's allocation-free fast path:
+// hits at any level must not touch the heap.
+func TestWarmAccessAllocFree(t *testing.T) {
+	h := New(DefaultConfig(2), cache.NewLRU())
+	var line [dram.LineSize]byte
+	h.Fill(0, 0x1000, line, false)
+	h.Fill(0, 0x2000, line, false)
+	allocs := testing.AllocsPerRun(200, func() {
+		if lvl, _ := h.Access(0, 0x1000, false); lvl == Miss {
+			t.Fatal("expected warm hit")
+		}
+		h.Access(0, 0x2000, true)
+		h.Access(1, 0x1000, false) // cross-core: refill from LLC
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Access allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestFillFlushSteadyStateAllocFree exercises the miss/evict churn: once the
+// lineBuf pool has reached its high-water mark, Fill and Flush recycle
+// buffers and reuse the scratch Victim instead of allocating.
+func TestFillFlushSteadyStateAllocFree(t *testing.T) {
+	h := New(DefaultConfig(1), cache.NewLRU())
+	var line [dram.LineSize]byte
+	addr := func(i int) dram.Addr { return dram.Addr(0x10000 + i*dram.LineSize) }
+	for i := 0; i < 64; i++ { // warm-up grows the pool
+		h.Fill(0, addr(i), line, i%2 == 0)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		h.Flush(addr(i % 64))
+		h.Fill(0, addr(i%64), line, true)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Fill/Flush churn allocated %.1f times per run, want 0", allocs)
+	}
+}

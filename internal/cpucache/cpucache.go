@@ -72,7 +72,10 @@ func DefaultConfig(cores int) Config {
 	}
 }
 
-// Victim is a line leaving the hierarchy toward memory.
+// Victim is a line leaving the hierarchy toward memory. Pointers returned by
+// Fill and Flush alias a scratch field inside the Hierarchy and are valid
+// only until the next Fill, Flush, or Repage-driven drop; callers must
+// consume (or copy) the victim before touching the hierarchy again.
 type Victim struct {
 	Addr  dram.Addr
 	Data  [dram.LineSize]byte
@@ -94,6 +97,19 @@ type Hierarchy struct {
 	// bufs mirrors plaintext content and dirtiness of every LLC-resident
 	// line (inclusive LLC means LLC residency == hierarchy residency).
 	bufs map[dram.Addr]*lineBuf
+	// bufFree recycles lineBufs dropped from bufs so the steady-state access
+	// path allocates nothing; victim is the scratch Victim those drops fill.
+	bufFree []*lineBuf
+	victim  Victim
+}
+
+func (h *Hierarchy) newLineBuf() *lineBuf {
+	if n := len(h.bufFree); n > 0 {
+		b := h.bufFree[n-1]
+		h.bufFree = h.bufFree[:n-1]
+		return b
+	}
+	return &lineBuf{}
 }
 
 // New builds the hierarchy; policy applies to all levels (LRU by default in
@@ -222,12 +238,15 @@ func (h *Hierarchy) Fill(core int, addr dram.Addr, data [dram.LineSize]byte, dir
 	}
 	h.l2[core].Insert(h.set(h.l2[core], addr), tag, false)
 	h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
-	h.bufs[addr] = &lineBuf{data: data, dirty: dirty}
+	b := h.newLineBuf()
+	b.data, b.dirty = data, dirty
+	h.bufs[addr] = b
 	return victim
 }
 
 // dropLine removes a line everywhere and returns it as a Victim (nil if the
-// line had no buffer, which cannot happen in a consistent hierarchy).
+// line had no buffer, which cannot happen in a consistent hierarchy). The
+// returned pointer aliases the hierarchy's scratch Victim.
 func (h *Hierarchy) dropLine(addr dram.Addr) *Victim {
 	tag := h.tag(addr)
 	for c := 0; c < h.cfg.Cores; c++ {
@@ -240,7 +259,9 @@ func (h *Hierarchy) dropLine(addr dram.Addr) *Victim {
 	if b == nil {
 		return nil
 	}
-	return &Victim{Addr: addr, Data: b.data, Dirty: b.dirty}
+	h.victim = Victim{Addr: addr, Data: b.data, Dirty: b.dirty}
+	h.bufFree = append(h.bufFree, b)
+	return &h.victim
 }
 
 // Flush implements clflush: the line is invalidated from every level of

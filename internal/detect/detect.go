@@ -35,7 +35,11 @@ func DefaultConfig() Config {
 type Monitor struct {
 	cfg    Config
 	target *cache.Cache
-	prev   []uint64
+	// prev and cur are the sliding pair of counter snapshots; Sample swaps
+	// them instead of allocating, so a high-frequency monitor actor adds no
+	// GC pressure to the simulation.
+	prev []uint64
+	cur  []uint64
 	// Alarms counts windows that crossed the threshold.
 	Alarms int
 	// Windows counts observations.
@@ -60,7 +64,7 @@ func NewMonitor(cfg Config, target *cache.Cache) *Monitor {
 // condition. Call it periodically (e.g. every 100k cycles via a platform
 // actor).
 func (m *Monitor) Sample() (alarmed bool) {
-	cur := m.target.EvictionsBySet()
+	cur := m.target.EvictionsBySetInto(m.cur)
 	var total, hottest uint64
 	hotSet := -1
 	for s := range cur {
@@ -70,7 +74,7 @@ func (m *Monitor) Sample() (alarmed bool) {
 			hottest, hotSet = d, s
 		}
 	}
-	m.prev = cur
+	m.prev, m.cur = cur, m.prev
 	m.Windows++
 	if total < m.cfg.MinEvictions {
 		return false

@@ -72,3 +72,24 @@ func TestMonitorWindowsAreDeltas(t *testing.T) {
 		t.Fatalf("alarm rate %.2f, want 0.5", got)
 	}
 }
+
+// TestSampleAllocFree pins the monitor's steady-state zero-allocation
+// property: after the first window establishes the snapshot pair, Sample
+// swaps buffers instead of allocating, so a high-frequency monitor actor
+// adds no GC pressure to the simulation.
+func TestSampleAllocFree(t *testing.T) {
+	c := newLLC()
+	m := NewMonitor(DefaultConfig(), c)
+	m.Sample() // first window allocates the second snapshot buffer
+	var tag cache.Tag
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			c.Insert(int(tag)%c.Sets(), tag, false)
+			tag++
+		}
+		m.Sample()
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocated %.1f times per window, want 0", allocs)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"meecc/internal/sim"
 )
 
 // fakeRunner is a pure function of the job — deterministic metrics derived
@@ -431,5 +433,46 @@ func TestChaosArtifactByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 	if a, b := render(1), render(4); !bytes.Equal(a, b) {
 		t.Fatal("chaos artifacts differ between 1 and 4 workers")
+	}
+}
+
+// TestActorPanicCarriesActorNameAndStack exercises the typed-panic
+// cooperation between the simulation engine and the harness: a panic inside
+// a simulated actor crosses Engine.Run as a *sim.PanicError, and runTrial
+// must report the actor's name and the actor goroutine's original stack —
+// not the worker goroutine's resume plumbing.
+func TestActorPanicCarriesActorNameAndStack(t *testing.T) {
+	runner := func(j Job) (Metrics, error) {
+		if v, _ := j.Cell.Get("mode"); v == "flaky" {
+			eng := sim.NewEngine(j.Seed)
+			defer eng.Close()
+			eng.Spawn("detonator", func(p *sim.Proc) {
+				p.Advance(10)
+				panic("actor kaboom")
+			})
+			eng.Run(-1)
+		}
+		return fakeRunner(j)
+	}
+	rep, err := Run(gridSpec(), runner, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, tr := range rep.Trials {
+		if !strings.Contains(tr.Err, "actor kaboom") {
+			continue
+		}
+		found++
+		if !strings.Contains(tr.Err, `actor "detonator"`) {
+			t.Errorf("panic record lost the actor name: %q", tr.Err)
+		}
+		// The stack must be the actor's own, taken at the panic site.
+		if !strings.Contains(tr.Err, "exp_test.go") || !strings.Contains(tr.Err, "run.func") && !strings.Contains(tr.Err, "goroutine") {
+			t.Errorf("panic record carries no actor stack: %q", tr.Err)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no trial recorded the actor panic")
 	}
 }

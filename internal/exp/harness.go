@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"meecc/internal/sim"
 	"meecc/internal/trace"
 )
 
@@ -245,14 +247,32 @@ dispatch:
 }
 
 // runTrial invokes the runner with a panic guard: a panicking trial is one
-// failed trial in the artifact, not a crashed batch.
+// failed trial in the artifact, not a crashed batch. Panics that crossed a
+// simulation Run boundary arrive as *sim.PanicError carrying the faulting
+// actor's name and its original stack; report those instead of this
+// goroutine's stack, which would only show the engine's resume plumbing.
 func runTrial(runner Runner, job Job) (m Metrics, err error) {
 	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("exp: trial panicked: %v\n%s", r, debug.Stack())
+		r := recover()
+		if r == nil {
+			return
 		}
+		if pe := (*sim.PanicError)(nil); errors.As(toError(r), &pe) {
+			err = fmt.Errorf("exp: trial panicked in actor %q: %v\n%s", pe.Actor, pe.Value, pe.Stack)
+			return
+		}
+		err = fmt.Errorf("exp: trial panicked: %v\n%s", r, debug.Stack())
 	}()
 	return runner(job)
+}
+
+// toError adapts a recovered value for errors.As without losing non-error
+// panic values.
+func toError(r any) error {
+	if err, ok := r.(error); ok {
+		return err
+	}
+	return fmt.Errorf("%v", r)
 }
 
 // aggregate folds the (already cell-major-ordered) trial results into

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"meecc/internal/sim"
+)
+
+// TestHeapAndLinearSchedulersProduceIdenticalArtifacts is the engine
+// refactor's acceptance oracle: the heap scheduler with actor run-ahead
+// batching must replay exactly the op order of the original single-step
+// linear scan, so full studies — covert-channel transmissions and chaos
+// campaigns with fault injection — render byte-identical artifacts under
+// either scheduler.
+func TestHeapAndLinearSchedulersProduceIdenticalArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	specs := []*Spec{
+		{
+			Name:     "sched-channel",
+			Study:    "channel",
+			BaseSeed: 42,
+			Trials:   2,
+			Params:   map[string]string{"bits": "16", "pattern": "alternating"},
+			Axes:     []Axis{{Name: "window", Values: []string{"10000", "15000"}}},
+		},
+		{
+			Name:     "sched-chaos",
+			Study:    "chaos",
+			BaseSeed: 7,
+			Trials:   1,
+			Params:   map[string]string{"payload": "4", "faults": "meeflush"},
+			Axes:     []Axis{{Name: "intensity", Values: []string{"0", "6"}}},
+		},
+	}
+	render := func(spec *Spec, linear bool) []byte {
+		sim.SetForceLinearSchedulerForTest(linear)
+		defer sim.SetForceLinearSchedulerForTest(false)
+		rep, err := RunSpec(spec, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := rep.Failures(); n > 0 {
+			t.Fatalf("%s (linear=%v): %d trials failed", spec.Name, linear, n)
+		}
+		b, err := MarshalArtifact(rep.Artifact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, spec := range specs {
+		heap := render(spec, false)
+		linear := render(spec, true)
+		if !bytes.Equal(heap, linear) {
+			t.Errorf("%s: artifacts differ between heap and linear schedulers:\n%s\n---\n%s",
+				spec.Name, heap, linear)
+		}
+	}
+}

@@ -13,9 +13,21 @@ import (
 // keyed by (address, version), CBC-MAC-based PD_Tags over ciphertext, and
 // embedded MACs over counter lines keyed by the covering counter. CBC-MAC is
 // secure here because every MAC'd message has the same fixed length.
+//
+// The scratch fields keep every block operation allocation-free: slices of
+// a method-local array passed through the cipher.Block interface escape to
+// the heap, which at millions of MACs per simulated transmission dominated
+// the allocator. Methods are therefore not safe for concurrent use — fine
+// here, because a Crypto belongs to one platform and the simulation engine
+// serializes all actors.
 type Crypto struct {
 	enc cipher.Block // data encryption key
 	mac cipher.Block // MAC key (independent)
+
+	ctrBlock [16]byte // AES-CTR input scratch
+	ctrKS    [16]byte // AES-CTR keystream scratch
+	macAcc   [16]byte // CBC-MAC accumulator scratch
+	macBody  [64]byte // NodeMAC serialized-counters scratch
 }
 
 // NewCrypto derives the engine's working keys from a 16-byte master key
@@ -49,11 +61,11 @@ func deriveKey(master [16]byte, label byte) [16]byte {
 // 64-byte line; encryption and decryption are the same operation.
 func (c *Crypto) xcryptLine(addr dram.Addr, version uint64, in [LineSize]byte) [LineSize]byte {
 	var out [LineSize]byte
-	var block, ks [16]byte
+	block, ks := c.ctrBlock[:], c.ctrKS[:]
 	for i := 0; i < LineSize/16; i++ {
 		binary.LittleEndian.PutUint64(block[0:], uint64(addr))
 		binary.LittleEndian.PutUint64(block[8:], version<<8|uint64(i))
-		c.enc.Encrypt(ks[:], block[:])
+		c.enc.Encrypt(ks, block)
 		for j := 0; j < 16; j++ {
 			out[i*16+j] = in[i*16+j] ^ ks[j]
 		}
@@ -73,15 +85,15 @@ func (c *Crypto) DecryptLine(addr dram.Addr, version uint64, ct [LineSize]byte) 
 
 // cbcMAC computes a truncated CBC-MAC over header || body under the MAC key.
 func (c *Crypto) cbcMAC(h0, h1 uint64, body []byte) uint64 {
-	var acc [16]byte
+	acc := c.macAcc[:]
 	binary.LittleEndian.PutUint64(acc[0:], h0)
 	binary.LittleEndian.PutUint64(acc[8:], h1)
-	c.mac.Encrypt(acc[:], acc[:])
+	c.mac.Encrypt(acc, acc)
 	for off := 0; off < len(body); off += 16 {
 		for j := 0; j < 16; j++ {
 			acc[j] ^= body[off+j]
 		}
-		c.mac.Encrypt(acc[:], acc[:])
+		c.mac.Encrypt(acc, acc)
 	}
 	return binary.LittleEndian.Uint64(acc[:8])
 }
@@ -97,9 +109,9 @@ func (c *Crypto) DataMAC(addr dram.Addr, version uint64, ct [LineSize]byte) uint
 // level up, and the line's eight counters. A stale or tampered line fails
 // verification because the covering counter has moved on.
 func (c *Crypto) NodeMAC(addr dram.Addr, parentCounter uint64, counters [CountersPerLine]uint64) uint64 {
-	var body [64]byte
+	body := c.macBody[:]
 	for i, v := range counters {
 		binary.LittleEndian.PutUint64(body[i*8:], v)
 	}
-	return c.cbcMAC(uint64(addr), parentCounter, body[:])
+	return c.cbcMAC(uint64(addr), parentCounter, body)
 }

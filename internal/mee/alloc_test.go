@@ -1,0 +1,78 @@
+package mee
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"meecc/internal/dram"
+	"meecc/internal/itree"
+	"meecc/internal/sim"
+)
+
+// TestWarmReadDataAllocFree pins the zero-allocation property of the hot
+// probe path: once a data line's versions and tag lines are MEE-cache
+// resident, ReadData must not touch the heap. The covert-channel benchmarks
+// execute this path millions of times per simulated transmission.
+func TestWarmReadDataAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 22))
+	mem := dram.New(dram.DefaultConfig())
+	geom, err := itree.NewGeometry(1<<30, 128<<20, 96<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(DefaultConfig(rng), geom, itree.NewCrypto([16]byte{1, 2, 3}), mem)
+	addr := geom.DataBase
+	var now sim.Cycles
+
+	read := func() {
+		now += 100000
+		if _, _, _, err := eng.ReadData(now, rng, addr); err != nil {
+			t.Fatalf("ReadData: %v", err)
+		}
+	}
+	read() // cold: walks and fills the MEE cache
+	read() // warm sanity
+
+	if allocs := testing.AllocsPerRun(200, read); allocs != 0 {
+		t.Fatalf("warm ReadData allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateReadDataAllocFree exercises the miss path over a working
+// set larger than the MEE cache: after a warm-up pass that grows the nodeBuf
+// pool to its high-water mark, continued conflict misses (evict + refill)
+// must recycle buffers instead of allocating.
+func TestSteadyStateReadDataAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 44))
+	mem := dram.New(dram.DefaultConfig())
+	geom, err := itree.NewGeometry(1<<30, 128<<20, 96<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(DefaultConfig(rng), geom, itree.NewCrypto([16]byte{4, 5, 6}), mem)
+	var now sim.Cycles
+
+	// Stride by the data span of one versions line so every read lands on a
+	// distinct versions line, forcing steady MEE-cache conflict churn.
+	const lines = 4096
+	read := func(i int) {
+		now += 100000
+		addr := geom.DataBase + dram.Addr(uint64(i)*itree.DataPerVersionLine)
+		if _, _, _, err := eng.ReadData(now, rng, addr); err != nil {
+			t.Fatalf("ReadData: %v", err)
+		}
+	}
+	for i := 0; i < lines; i++ { // warm-up: pool reaches high-water mark
+		read(i)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		read(i % lines)
+		i++
+	})
+	// ensureInit's one-time per-line bookkeeping is done after warm-up, so
+	// the steady state must be fully recycled.
+	if allocs != 0 {
+		t.Fatalf("steady-state ReadData allocated %.1f times per op, want 0", allocs)
+	}
+}

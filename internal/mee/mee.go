@@ -154,6 +154,9 @@ type Engine struct {
 	// bufs mirrors the current content of every tree line resident in the
 	// MEE cache (DRAM may be stale for dirty lines).
 	bufs map[dram.Addr]*nodeBuf
+	// bufFree recycles nodeBufs of evicted lines so the steady-state walk
+	// (fill one line, evict another) allocates nothing.
+	bufFree []*nodeBuf
 	// root holds the on-die SRAM root counters — always trusted, always
 	// current.
 	root []uint64
@@ -171,6 +174,24 @@ type nodeBuf struct {
 	counter itree.CounterLine // for version/level lines
 	tags    itree.TagLine     // for tag lines
 	dirty   bool
+}
+
+// newBuf returns a zeroed nodeBuf, reusing one recycled by putBuf if
+// available.
+func (e *Engine) newBuf() *nodeBuf {
+	if n := len(e.bufFree); n > 0 {
+		nb := e.bufFree[n-1]
+		e.bufFree = e.bufFree[:n-1]
+		*nb = nodeBuf{}
+		return nb
+	}
+	return &nodeBuf{}
+}
+
+// putBuf recycles the nodeBuf of a line that left the MEE cache. Callers
+// must be done reading it: the next fill may reuse the same object.
+func (e *Engine) putBuf(nb *nodeBuf) {
+	e.bufFree = append(e.bufFree, nb)
 }
 
 // New builds an MEE over the given geometry, crypto, and DRAM.

@@ -39,7 +39,8 @@ func (e *Engine) loadVersions(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 		return nil, &IntegrityError{Addr: vaddr, Kind: itree.KindVersion, What: "embedded MAC mismatch"}
 	}
 	w.check()
-	nb := &nodeBuf{kind: itree.KindVersion, counter: cl}
+	nb := e.newBuf()
+	nb.kind, nb.counter = itree.KindVersion, cl
 	e.install(w, vaddr, set, nb)
 	return nb, nil
 }
@@ -75,7 +76,8 @@ func (e *Engine) loadLevelCounter(w *walker, level int, idx uint64, slot int) (u
 		return 0, &IntegrityError{Addr: addr, Kind: itree.NodeKind(int(itree.KindLevel0) + level), What: "embedded MAC mismatch"}
 	}
 	w.check()
-	nb := &nodeBuf{kind: itree.NodeKind(int(itree.KindLevel0) + level), counter: cl}
+	nb := e.newBuf()
+	nb.kind, nb.counter = itree.NodeKind(int(itree.KindLevel0)+level), cl
 	e.install(w, addr, set, nb)
 	return cl.Counters[slot], nil
 }
@@ -91,8 +93,8 @@ func (e *Engine) loadTags(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 	}
 	w.posted(taddr, false)
 	e.ensureInit(taddr)
-	tl := itree.DecodeTagLine(e.mem.ReadLine(taddr))
-	nb := &nodeBuf{kind: itree.KindTag, tags: tl}
+	nb := e.newBuf()
+	nb.kind, nb.tags = itree.KindTag, itree.DecodeTagLine(e.mem.ReadLine(taddr))
 	e.install(w, taddr, set, nb)
 	return nb, nil
 }
@@ -114,8 +116,11 @@ func (e *Engine) install(w *walker, addr dram.Addr, set int, nb *nodeBuf) {
 		evAddr := dram.Addr(uint64(evicted.Tag) * itree.LineSize)
 		evBuf := e.bufs[evAddr]
 		delete(e.bufs, evAddr)
-		if evBuf != nil && evBuf.dirty {
-			e.writeback(w, evAddr, evBuf)
+		if evBuf != nil {
+			if evBuf.dirty {
+				e.writeback(w, evAddr, evBuf)
+			}
+			e.putBuf(evBuf)
 		}
 	}
 }
@@ -203,6 +208,7 @@ func (e *Engine) maybeRandomEvict(w *walker) {
 		e.writeback(w, victim, nb)
 		w.postedMode = prev
 	}
+	e.putBuf(nb)
 }
 
 // ensureInit materializes the boot-time image of a tree line in DRAM:
@@ -266,5 +272,8 @@ func (e *Engine) FlushCache(now sim.Cycles, rng *rand.Rand) {
 		}
 	}
 	e.cache.FlushAll()
-	e.bufs = make(map[dram.Addr]*nodeBuf)
+	for _, nb := range e.bufs {
+		e.putBuf(nb)
+	}
+	clear(e.bufs)
 }

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"encoding/binary"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -121,7 +122,7 @@ func TestRdtscFaultsInEnclaveMode(t *testing.T) {
 	p := bootDefault(t, 6)
 	defer func() {
 		r := recover()
-		if r == nil || !strings.Contains(r.(string), "rdtsc") {
+		if r == nil || !strings.Contains(fmt.Sprint(r), "rdtsc") {
 			t.Fatalf("expected rdtsc #UD panic, got %v", r)
 		}
 		p.Close()
@@ -184,7 +185,7 @@ func TestNonEnclaveAccessToEPCFaults(t *testing.T) {
 	p := bootDefault(t, 10)
 	defer func() {
 		r := recover()
-		if r == nil || !strings.Contains(r.(string), "abort-page") {
+		if r == nil || !strings.Contains(fmt.Sprint(r), "abort-page") {
 			t.Fatalf("expected abort-page panic, got %v", r)
 		}
 		p.Close()
@@ -203,7 +204,7 @@ func TestCrossEnclaveAccessFaults(t *testing.T) {
 	p := bootDefault(t, 11)
 	defer func() {
 		r := recover()
-		if r == nil || !strings.Contains(r.(string), "EPCM") {
+		if r == nil || !strings.Contains(fmt.Sprint(r), "EPCM") {
 			t.Fatalf("expected EPCM violation, got %v", r)
 		}
 		p.Close()

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestWriteU64CrossLinePanics(t *testing.T) {
 	pr := p.NewProcess("x")
 	va := pr.AllocGeneral(1)
 	defer func() {
-		if r := recover(); r == nil || !strings.Contains(r.(string), "crosses") {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "crosses") {
 			t.Fatalf("expected cross-line panic, got %v", r)
 		}
 		p.Close()
@@ -58,7 +59,7 @@ func TestWriteU64CrossLinePanics(t *testing.T) {
 func TestUnmappedAccessPanics(t *testing.T) {
 	p := New(DefaultConfig(92))
 	defer func() {
-		if r := recover(); r == nil || !strings.Contains(r.(string), "unmapped") {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "unmapped") {
 			t.Fatalf("expected unmapped fault, got %v", r)
 		}
 		p.Close()

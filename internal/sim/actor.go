@@ -1,18 +1,34 @@
 package sim
 
-import "math/rand/v2"
+import (
+	"math/rand/v2"
+	"runtime/debug"
+)
 
 // Actor is one simulated thread of execution with its own cycle clock.
 type Actor struct {
-	name     string
-	id       int
-	clock    Cycles
-	done     bool
-	panicVal any
-	resume   chan struct{}
-	parked   chan struct{}
-	engine   *Engine
-	proc     *Proc
+	name       string
+	id         int
+	clock      Cycles
+	done       bool
+	panicVal   any
+	panicStack []byte
+	resume     chan struct{}
+	parked     chan struct{}
+	engine     *Engine
+	proc       *Proc
+	heapIdx    int // position in the engine's scheduling heap; -1 if detached
+
+	// Run-ahead state, written by the engine before each resume and
+	// consumed by Proc.yield (the resume channel orders the accesses):
+	// the actor keeps executing operations locally while its next
+	// operation is still scheduled before (horizonClock, horizonID) and
+	// within runLimit. lastStart is the start clock of the last committed
+	// operation, which Run reports.
+	horizonClock Cycles
+	horizonID    int
+	runLimit     Cycles
+	lastStart    Cycles
 }
 
 // Name returns the actor's diagnostic name.
@@ -27,12 +43,14 @@ func (a *Actor) Done() bool { return a.done }
 // run is the goroutine wrapper around the actor body. The goroutine blocks
 // until the engine resumes it for the first time, executes the body, and
 // reports completion. Panics other than the engine's kill sentinel are
-// captured and re-raised on the engine side.
+// captured — value and actor-side stack — and re-raised on the engine side
+// as a *PanicError.
 func (a *Actor) run(body func(*Proc)) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isKill := r.(killSentinel); !isKill {
 				a.panicVal = r
+				a.panicStack = debug.Stack()
 			}
 		}
 		a.done = true
@@ -45,8 +63,10 @@ func (a *Actor) run(body func(*Proc)) {
 	body(a.proc)
 }
 
-// step resumes the actor for exactly one operation (one yield-to-yield
-// stretch) and waits for it to park again. Called only by the engine.
+// step resumes the actor for one batch of operations (one yield-to-park
+// stretch — a single operation under the reference scheduler, up to the
+// run-ahead horizon otherwise) and waits for it to park again. Called only
+// by the engine.
 func (a *Actor) step() {
 	a.resume <- struct{}{}
 	<-a.parked
@@ -87,10 +107,22 @@ func (p *Proc) SleepUntil(t Cycles) {
 	p.Advance(d)
 }
 
-// yield parks the actor and blocks until the engine resumes it. If the
-// engine is tearing down, the actor unwinds via the kill sentinel.
+// yield ends the current operation. If the actor's next operation is still
+// scheduled before every other live actor (the engine-provided run-ahead
+// horizon) and within the current Run limit, the actor continues executing
+// locally — no park, no channel handoff. Otherwise it parks and blocks until
+// the engine resumes it. If the engine is tearing down, the actor unwinds
+// via the kill sentinel.
 func (p *Proc) yield() {
 	a := p.actor
+	if !a.engine.killed {
+		c := a.clock
+		if (a.runLimit < 0 || c <= a.runLimit) &&
+			schedBefore(c, a.id, a.horizonClock, a.horizonID) {
+			a.lastStart = c
+			return
+		}
+	}
 	a.parked <- struct{}{}
 	<-a.resume
 	if a.engine.killed {

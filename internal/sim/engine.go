@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync/atomic"
 )
 
 // Cycles counts simulated CPU clock cycles. It is signed so that durations
@@ -12,25 +13,65 @@ import (
 // never lets simulated time go negative.
 type Cycles int64
 
+// maxCycles is the run-ahead horizon when an actor has no live peers.
+const maxCycles = Cycles(math.MaxInt64)
+
 // killSentinel is panicked inside an actor goroutine when the engine tears
 // the actor down; the actor wrapper recovers it.
 type killSentinel struct{}
+
+// PanicError is what Engine.Run re-panics when an actor body panics: it
+// carries the original panic value and the stack captured inside the actor
+// goroutine at the point of the panic, so callers recovering at the engine
+// boundary (e.g. the experiment harness's trial guard) can report the real
+// failure instead of a flattened string.
+type PanicError struct {
+	Actor string // name of the actor whose body panicked
+	Value any    // the original panic value
+	Stack []byte // stack of the actor goroutine, captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: actor %q panicked: %v", e.Actor, e.Value)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.Is/As reach through the engine boundary.
+func (e *PanicError) Unwrap() error {
+	err, _ := e.Value.(error)
+	return err
+}
+
+// forceLinear is a test hook: when set, new engines use the reference
+// linear-scan scheduler (O(n) pick, no run-ahead batching) instead of the
+// heap. Both schedulers execute operations in an identical global order;
+// the hook exists so the cross-scheduler determinism tests can prove it.
+var forceLinear atomic.Bool
+
+// SetForceLinearSchedulerForTest makes every subsequently created engine
+// use the pre-heap reference scheduler. Call with false to restore the
+// default. Test hook only — it is process-global.
+func SetForceLinearSchedulerForTest(v bool) { forceLinear.Store(v) }
 
 // Engine is a deterministic discrete-event simulator. Actors are resumed one
 // at a time in order of their local clocks, so all shared-state mutation is
 // serialized and reproducible for a fixed seed.
 type Engine struct {
-	actors []*Actor
-	rng    *rand.Rand
-	killed bool
-	closed bool
+	actors  []*Actor
+	heap    []*Actor // live actors, indexed min-heap on (clock, spawn id)
+	rng     *rand.Rand
+	running *Actor // actor currently executing inside Run/Close
+	killed  bool
+	closed  bool
+	linear  bool // reference scheduler: linear scan, single-step resumes
 }
 
 // NewEngine returns an engine whose random stream is derived from seed.
 // The same seed always produces the same simulation.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
-		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		linear: forceLinear.Load(),
 	}
 }
 
@@ -54,22 +95,32 @@ func (e *Engine) SpawnAt(name string, start Cycles, body func(*Proc)) *Actor {
 		start = 0
 	}
 	a := &Actor{
-		name:   name,
-		id:     len(e.actors),
-		clock:  start,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
-		engine: e,
+		name:    name,
+		id:      len(e.actors),
+		clock:   start,
+		heapIdx: -1,
+		resume:  make(chan struct{}),
+		parked:  make(chan struct{}),
+		engine:  e,
 	}
 	a.proc = &Proc{actor: a}
 	e.actors = append(e.actors, a)
+	e.heapPush(a)
+	// Spawn from inside a running actor body: the new actor may be due
+	// before the runner's next operation, so shrink the runner's run-ahead
+	// horizon to hand control back in time.
+	if r := e.running; r != nil && schedBefore(a.clock, a.id, r.horizonClock, r.horizonID) {
+		r.horizonClock, r.horizonID = a.clock, a.id
+	}
 	go a.run(body)
 	return a
 }
 
-// pick returns the live actor with the smallest clock (ties broken by spawn
-// order), or nil if none remain.
-func (e *Engine) pick() *Actor {
+// pickLinear is the reference O(n) scheduler: the live actor with the
+// smallest clock, ties broken by spawn order. Kept (behind the
+// SetForceLinearSchedulerForTest hook) as the oracle the heap scheduler is
+// tested against.
+func (e *Engine) pickLinear() *Actor {
 	var best *Actor
 	for _, a := range e.actors {
 		if a.done {
@@ -87,25 +138,55 @@ func (e *Engine) pick() *Actor {
 // (run until all actors finish). It returns the clock of the last executed
 // operation. Run may be called repeatedly with growing limits; actors keep
 // their state between calls.
+//
+// Each resume hands the chosen actor a run-ahead horizon — the schedule
+// position of the next other live actor. The actor executes operations
+// locally (no engine round-trip) for as long as it stays ahead of that
+// horizon and within limit, which collapses the four channel handoffs per
+// operation into four per batch. Because every operation it commits would
+// have been chosen next by the single-step scheduler anyway, the global
+// operation order — and thus every artifact byte — is unchanged.
 func (e *Engine) Run(limit Cycles) Cycles {
 	if e.closed {
 		panic("sim: Run on closed engine")
 	}
 	var now Cycles
 	for {
-		a := e.pick()
+		var a *Actor
+		if e.linear {
+			a = e.pickLinear()
+		} else {
+			a = e.heapMin()
+		}
 		if a == nil {
 			break
 		}
 		if limit >= 0 && a.clock > limit {
 			break
 		}
-		now = a.clock
+		if e.linear {
+			// Horizon in the past: the actor parks after every operation.
+			a.horizonClock, a.horizonID = -1, 0
+		} else if h := e.heapSecond(); h != nil {
+			a.horizonClock, a.horizonID = h.clock, h.id
+		} else {
+			a.horizonClock, a.horizonID = maxCycles, int(^uint(0)>>1)
+		}
+		a.runLimit = limit
+		a.lastStart = a.clock
+		e.running = a
 		a.step()
+		e.running = nil
+		now = a.lastStart
+		if a.done {
+			e.heapRemove(a)
+		} else {
+			e.heapFix(a)
+		}
 		if a.panicVal != nil {
-			pv := a.panicVal
-			a.panicVal = nil
-			panic(fmt.Sprintf("sim: actor %q panicked: %v", a.name, pv))
+			pv, stack := a.panicVal, a.panicStack
+			a.panicVal, a.panicStack = nil, nil
+			panic(&PanicError{Actor: a.name, Value: pv, Stack: stack})
 		}
 	}
 	return now
@@ -122,6 +203,7 @@ func (e *Engine) Close() {
 		for !a.done {
 			a.step()
 		}
+		e.heapRemove(a)
 	}
 	e.closed = true
 }

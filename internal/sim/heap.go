@@ -1,0 +1,122 @@
+package sim
+
+// The engine keeps its live actors in an indexed binary min-heap keyed on
+// (clock, spawn id). The key order is exactly the linear scan's pick order:
+// smallest clock first, ties broken by earliest spawn. Each actor caches its
+// heap position (heapIdx) so the engine can re-sift an actor in O(log n)
+// after its clock advances, instead of rescanning every actor per step.
+
+// schedBefore reports whether a is scheduled before b: strictly smaller
+// clock, or equal clocks with the earlier spawn id. This is the single
+// ordering rule shared by the heap, the linear reference scheduler, and the
+// run-ahead horizon check — keeping all three byte-identical.
+func schedBefore(aClock Cycles, aID int, bClock Cycles, bID int) bool {
+	return aClock < bClock || (aClock == bClock && aID < bID)
+}
+
+func (e *Engine) heapLess(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	return schedBefore(a.clock, a.id, b.clock, b.id)
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].heapIdx = i
+	e.heap[j].heapIdx = j
+}
+
+// heapPush adds a live actor to the heap.
+func (e *Engine) heapPush(a *Actor) {
+	a.heapIdx = len(e.heap)
+	e.heap = append(e.heap, a)
+	e.heapUp(a.heapIdx)
+}
+
+// heapFix restores heap order around a after its key (clock) changed.
+func (e *Engine) heapFix(a *Actor) {
+	i := a.heapIdx
+	if i < 0 {
+		return
+	}
+	if !e.heapDown(i) {
+		e.heapUp(i)
+	}
+}
+
+// heapRemove detaches a (typically a finished actor) from the heap.
+func (e *Engine) heapRemove(a *Actor) {
+	i := a.heapIdx
+	if i < 0 {
+		return
+	}
+	last := len(e.heap) - 1
+	if i != last {
+		e.heapSwap(i, last)
+	}
+	e.heap = e.heap[:last]
+	a.heapIdx = -1
+	if i < last {
+		if !e.heapDown(i) {
+			e.heapUp(i)
+		}
+	}
+}
+
+// heapMin returns the scheduled-first live actor, or nil.
+func (e *Engine) heapMin() *Actor {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heap[0]
+}
+
+// heapSecond returns the actor scheduled immediately after the minimum —
+// the run-ahead horizon owner — or nil if fewer than two actors are live.
+// In a binary heap the second-smallest element is whichever root child is
+// smaller, so this is O(1).
+func (e *Engine) heapSecond() *Actor {
+	switch len(e.heap) {
+	case 0, 1:
+		return nil
+	case 2:
+		return e.heap[1]
+	default:
+		if e.heapLess(1, 2) {
+			return e.heap[1]
+		}
+		return e.heap[2]
+	}
+}
+
+func (e *Engine) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(i, parent) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// heapDown sifts index i toward the leaves; reports whether it moved.
+func (e *Engine) heapDown(i int) bool {
+	start := i
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.heapLess(right, left) {
+			least = right
+		}
+		if !e.heapLess(least, i) {
+			break
+		}
+		e.heapSwap(i, least)
+		i = least
+	}
+	return i != start
+}
