@@ -15,6 +15,17 @@ set -eu
 
 cd "$(dirname "$0")"
 
+if [ "${1:-}" = "obs" ]; then
+    # Observability-focused slice of the gate: the determinism contract
+    # (artifact snapshots byte-identical across worker counts and both
+    # schedulers) and the golden trace/artifact schemas, all under -race.
+    echo "== obs: determinism + golden schema (-race) =="
+    go test -race -run 'Metrics|GoldenSchema|ChromeTrace|Observability' \
+        ./internal/obs ./internal/exp ./internal/platform
+    echo "== obs passed =="
+    exit 0
+fi
+
 if [ "${1:-}" = "bench" ]; then
     count="${BENCH_COUNT:-5}"
     time="${BENCH_TIME:-1s}"
@@ -62,5 +73,13 @@ go run ./cmd/meecc batch -spec examples/specs/smoke.json -out "$tmp"
 for f in smoke.json smoke.manifest.json; do
     test -s "$tmp/$f" || { echo "missing artifact $f" >&2; exit 1; }
 done
+
+echo "== smoke: traced fig6b =="
+# One traced end-to-end transmission: the exported Chrome trace must pass
+# the same structural validation Perfetto relies on (per-actor tracks, MEE
+# hit-level counter track).
+go run ./cmd/figures -fig 6b -trace "$tmp/fig6b.trace.json" > /dev/null
+test -s "$tmp/fig6b.trace.json" || { echo "missing fig6b trace" >&2; exit 1; }
+go run ./cmd/meecc inspect "$tmp/fig6b.trace.json"
 
 echo "== ci passed =="

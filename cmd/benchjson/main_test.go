@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -16,6 +18,9 @@ ok  	meecc	1.969s
 pkg: meecc/internal/sim
 BenchmarkActorSwitch-8   	 5000000	       250.0 ns/op	       0 B/op	       0 allocs/op
 PASS
+pkg: meecc/internal/mee
+BenchmarkReadObserved-8  	 1000000	      1020 ns/op	         1.003 meeHits/op	       0 B/op	       0 allocs/op
+PASS
 `
 
 func TestParseBenchOutput(t *testing.T) {
@@ -26,8 +31,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if f.Goos != "linux" || f.Goarch != "amd64" {
 		t.Fatalf("context lines not captured: %+v", f)
 	}
-	if len(f.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
 	}
 	b := f.Benchmarks[0]
 	if b.Name != "BenchmarkFig6bCovertChannel" || b.Pkg != "meecc" || b.N != 2 {
@@ -43,9 +48,51 @@ func TestParseBenchOutput(t *testing.T) {
 	if f.Benchmarks[2].Pkg != "meecc/internal/sim" {
 		t.Errorf("pkg context did not advance: %q", f.Benchmarks[2].Pkg)
 	}
+	// Observability metrics emitted via b.ReportMetric parse like any other
+	// "value unit" pair.
+	mee := f.Benchmarks[3]
+	if mee.Pkg != "meecc/internal/mee" || mee.Name != "BenchmarkReadObserved-8" {
+		t.Fatalf("custom-metric benchmark identity wrong: %+v", mee)
+	}
+	if got := mee.Values["meeHits/op"]; got != 1.003 {
+		t.Errorf("meeHits/op = %v, want 1.003", got)
+	}
 	// Raw must round-trip the input verbatim, line for line.
 	if got := strings.Join(f.Raw, "\n") + "\n"; got != sample {
 		t.Error("raw lines do not round-trip the input")
+	}
+}
+
+// TestJSONRoundTripPreservesCustomMetrics is the storage contract: parse →
+// JSON → replay raw → re-parse must reproduce every benchmark, custom units
+// included. This is what lets a stored baseline feed benchstat later.
+func TestJSONRoundTripPreservesCustomMetrics(t *testing.T) {
+	f, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != f.SchemaVersion {
+		t.Errorf("schema version %d, want %d", back.SchemaVersion, f.SchemaVersion)
+	}
+	if !reflect.DeepEqual(back.Benchmarks, f.Benchmarks) {
+		t.Errorf("benchmarks changed across JSON round trip:\n%+v\n---\n%+v", back.Benchmarks, f.Benchmarks)
+	}
+	// Replaying the stored raw lines (what -print emits) re-parses to the
+	// same benchmarks, meeHits/op and all.
+	replayed, err := parse(strings.NewReader(strings.Join(back.Raw, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed.Benchmarks, f.Benchmarks) {
+		t.Errorf("raw replay does not reproduce benchmarks:\n%+v\n---\n%+v", replayed.Benchmarks, f.Benchmarks)
 	}
 }
 

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	figures [-fig all|4|5|6a|6b|7|8|M|E] [-seed N] [-trials N] [-bits N] [-out DIR]
+//	        [-metrics] [-trace FILE]
+//
+// -metrics prints a counter report after single-run figures and embeds
+// per-trial metrics snapshots in grid-figure artifacts; -trace FILE exports
+// a Perfetto-loadable timeline of a single-run figure (5, 6a, 6b).
 //
 // Figure map (see DESIGN.md for the experiment index):
 //
@@ -29,6 +34,7 @@ import (
 	"meecc"
 	"meecc/internal/exp"
 	"meecc/internal/mee"
+	"meecc/internal/obs"
 	"meecc/internal/trace"
 )
 
@@ -39,6 +45,8 @@ var (
 	bitsFlag   = flag.Int("bits", 256, "payload bits for figures 7/8/M")
 	outFlag    = flag.String("out", "", "directory for CSV output (optional)")
 	workers    = flag.Int("workers", 0, "worker goroutines for multi-trial figures (0 = GOMAXPROCS)")
+	metricsOn  = flag.Bool("metrics", false, "print a metrics report after each single-run figure; embed snapshots in grid artifacts")
+	traceFlag  = flag.String("trace", "", "write a timeline trace of single-run figures to this file (.csv = compact CSV, else Chrome trace-event JSON; when several figures are selected the last one wins)")
 )
 
 func main() {
@@ -106,9 +114,57 @@ func writeCSV(name string, write func(*os.File) error) (err error) {
 	return write(f)
 }
 
+// figObserver returns a fresh observer when -metrics or -trace is set, so
+// each single-run figure reports its own counters and timeline.
+func figObserver() *obs.Observer {
+	if !*metricsOn && *traceFlag == "" {
+		return nil
+	}
+	o := obs.NewObserver()
+	if *traceFlag != "" {
+		o.WithTracer(0)
+	}
+	return o
+}
+
+// finishFigObs renders the metrics report and/or writes the trace export
+// for one completed single-run figure.
+func finishFigObs(o *obs.Observer) error {
+	if o == nil {
+		return nil
+	}
+	if *metricsOn {
+		fmt.Println()
+		o.SnapshotAll().Render(os.Stdout)
+	}
+	if *traceFlag == "" {
+		return nil
+	}
+	f, err := os.Create(*traceFlag)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(*traceFlag, ".csv") {
+		err = o.Tracer().WriteCSV(f)
+	} else {
+		err = o.Tracer().WriteChromeJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s (%d events)\n", *traceFlag, o.Tracer().Len())
+	return nil
+}
+
 // runGrid fans a figure's grid out over the worker pool with live
 // progress on stderr and, with -out, persists the artifact + manifest.
 func runGrid(spec *exp.Spec) (*exp.Report, error) {
+	if *metricsOn {
+		spec.Metrics = true
+	}
 	rep, err := exp.RunSpec(spec, exp.Config{Workers: *workers, OnProgress: progressLine(spec.Name)})
 	if err != nil {
 		return nil, err
@@ -186,7 +242,10 @@ func fig4() error {
 
 func fig5() error {
 	header("Figure 5: protected-region access latency by MEE-cache hit level (§5.1)")
-	res, err := meecc.CharacterizeLatency(meecc.DefaultOptions(*seedFlag), 800)
+	o := figObserver()
+	opts := meecc.DefaultOptions(*seedFlag)
+	opts.Obs = o
+	res, err := meecc.CharacterizeLatency(opts, 800)
 	if err != nil {
 		return err
 	}
@@ -200,35 +259,48 @@ func fig5() error {
 		}
 	}
 	fmt.Println("\npaper anchors: versions hit ~480, versions miss (L0 hit) ~750, ~+270/level")
-	return writeCSV("fig5.csv", func(f *os.File) error {
+	if err := writeCSV("fig5.csv", func(f *os.File) error {
 		return trace.WriteCSV(f, []string{"hit_level", "bucket_lo", "bucket_hi", "count"}, rows)
-	})
+	}); err != nil {
+		return err
+	}
+	return finishFigObs(o)
 }
 
 func fig6a() error {
 	header("Figure 6(a): Prime+Probe baseline, trojan sending '0101...' (§5.2)")
+	o := figObserver()
 	cfg := meecc.DefaultChannelConfig(*seedFlag)
 	cfg.Bits = meecc.AlternatingBits(16)
+	cfg.Obs = o
 	res, err := meecc.RunPrimeProbe(cfg)
 	if err != nil {
 		return err
 	}
-	return renderTrace("fig6a.csv", res.Sent, res.Received, toF(res.ProbeTimes),
+	if err := renderTrace("fig6a.csv", res.Sent, res.Received, toF(res.ProbeTimes),
 		fmt.Sprintf("probe-all-8 threshold %d; errors %d/%d (%.1f%%) — paper: communication not established; every probe >3500 cycles",
-			res.Threshold, res.BitErrors, len(res.Sent), 100*res.ErrorRate))
+			res.Threshold, res.BitErrors, len(res.Sent), 100*res.ErrorRate)); err != nil {
+		return err
+	}
+	return finishFigObs(o)
 }
 
 func fig6b() error {
 	header("Figure 6(b): this work's MEE-cache covert channel, '0101...' (§5.3)")
+	o := figObserver()
 	cfg := meecc.DefaultChannelConfig(*seedFlag)
 	cfg.Bits = meecc.AlternatingBits(30)
+	cfg.Obs = o
 	res, err := meecc.RunChannel(cfg)
 	if err != nil {
 		return err
 	}
-	return renderTrace("fig6b.csv", res.Sent, res.Received, toF(res.ProbeTimes),
+	if err := renderTrace("fig6b.csv", res.Sent, res.Received, toF(res.ProbeTimes),
 		fmt.Sprintf("spy threshold %d; errors %d/%d — paper anchors: '0'≈480, '1'≈750 cycles",
-			res.SpyThreshold, res.BitErrors, len(res.Sent)))
+			res.SpyThreshold, res.BitErrors, len(res.Sent))); err != nil {
+		return err
+	}
+	return finishFigObs(o)
 }
 
 func fig7() error {

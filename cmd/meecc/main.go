@@ -15,12 +15,19 @@
 //	meecc overhead [-seed N]                   # SGX slowdown curve
 //	meecc timing   [-seed N]                   # §3 time sources
 //	meecc activity [-seed N]                   # victim-activity inference
+//	meecc inspect  FILE                        # render a snapshot/trace/artifact
 //
 // Noise kinds: none, memory, mee512, mee4k. Policies: lru (default),
 // tree-plru, bit-plru, fifo, random, nru, srrip.
 //
 // Every command additionally accepts -cpuprofile FILE and -memprofile FILE
-// to capture pprof profiles of the run (inspect with `go tool pprof FILE`).
+// to capture pprof profiles of the run (inspect with `go tool pprof FILE`),
+// plus the observability flags: -metrics prints a counter/histogram report
+// after the run, -metricsout FILE writes the snapshot as JSON, and
+// -trace FILE exports a sim-clock timeline (Chrome trace-event JSON for
+// Perfetto, or CSV when FILE ends in .csv). Grid subcommands (sweep, noise,
+// batch, chaos) embed per-trial metrics snapshots in the artifact instead
+// of tracing.
 //
 // The sweep, noise, and batch subcommands run on the internal/exp
 // experiment harness: every (cell, trial) pair fans out over a worker
@@ -32,6 +39,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +56,7 @@ import (
 	"meecc/internal/exp"
 	"meecc/internal/fault"
 	"meecc/internal/mee"
+	"meecc/internal/obs"
 	"meecc/internal/trace"
 )
 
@@ -73,6 +82,10 @@ var (
 
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+
+	metricsOn  = flag.Bool("metrics", false, "collect metrics and print a report after the run")
+	metricsOut = flag.String("metricsout", "", "write the metrics snapshot JSON to this file")
+	tracePath  = flag.String("trace", "", "write a timeline trace to this file (.csv = compact CSV, anything else = Chrome trace-event JSON for Perfetto)")
 )
 
 func main() {
@@ -96,10 +109,11 @@ func main() {
 		"overhead": runOverhead,
 		"timing":   runTiming,
 		"activity": runActivity,
+		"inspect":  runInspect,
 	}
 	run, ok := cmds[cmd]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity)\n", cmd)
+		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity, inspect)\n", cmd)
 		os.Exit(2)
 	}
 	stopProfiles, err := startProfiles()
@@ -154,6 +168,65 @@ func startProfiles() (stop func(), err error) {
 	return stop, nil
 }
 
+// observer builds the run's observer from -metrics/-metricsout/-trace, or
+// returns nil when none are set (all instrumentation disabled). Single-run
+// subcommands thread the result through their Options/ChannelConfig and
+// call finishObs on the way out.
+func observer() *obs.Observer {
+	if !*metricsOn && *metricsOut == "" && *tracePath == "" {
+		return nil
+	}
+	o := obs.NewObserver()
+	if *tracePath != "" {
+		o.WithTracer(0)
+	}
+	return o
+}
+
+// finishObs emits whatever the observability flags asked for: a full text
+// report (including diagnostic scheduler counters) on stdout, a snapshot
+// JSON file, and a trace export picked by file extension.
+func finishObs(o *obs.Observer) error {
+	if o == nil {
+		return nil
+	}
+	snap := o.SnapshotAll()
+	if *metricsOn {
+		fmt.Println()
+		snap.Render(os.Stdout)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, snap.Encode(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s\n", *metricsOut)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(*tracePath, ".csv") {
+			err = o.Tracer().WriteCSV(f)
+		} else {
+			err = o.Tracer().WriteChromeJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		tr := o.Tracer()
+		fmt.Printf("trace: %s (%d events", *tracePath, tr.Len())
+		if d := tr.Dropped(); d > 0 {
+			fmt.Printf(", %d oldest overwritten", d)
+		}
+		fmt.Println(")")
+	}
+	return nil
+}
+
 func channelConfig() (meecc.ChannelConfig, error) {
 	cfg := meecc.DefaultChannelConfig(*seed)
 	cfg.Window = meecc.Cycles(*window)
@@ -172,6 +245,8 @@ func runSend() error {
 	if err != nil {
 		return err
 	}
+	o := observer()
+	cfg.Obs = o
 	switch {
 	case *reliable:
 		fmt.Printf("transmitting %d payload bytes with FEC framing...\n", len(*msg))
@@ -183,7 +258,7 @@ func runSend() error {
 			res.Payload, res.Stats.Corrections, res.Attempts)
 		fmt.Printf("raw     : %.1f KBps, %d channel bit errors\n", res.Channel.KBps, res.Channel.BitErrors)
 		fmt.Printf("goodput : %.1f KBps after coding overhead\n", res.GoodputKBps)
-		return nil
+		return finishObs(o)
 
 	case *inband:
 		fmt.Printf("transmitting %d bits with in-band synchronization...\n", len(cfg.Bits))
@@ -193,7 +268,7 @@ func runSend() error {
 		}
 		fmt.Printf("locked on phase attempt %d; decoded %q\n", res.Attempt, meecc.StringFromBits(res.Received))
 		fmt.Printf("%d/%d bit errors, %.1f KBps effective\n", res.BitErrors, len(res.Sent), res.KBps)
-		return nil
+		return finishObs(o)
 
 	case *lanes > 1:
 		if pad := len(cfg.Bits) % *lanes; pad != 0 {
@@ -207,7 +282,7 @@ func runSend() error {
 		fmt.Printf("decoded %q\n", meecc.StringFromBits(res.Received))
 		fmt.Printf("%.1f KBps aggregate, %d/%d bit errors (per lane: %v)\n",
 			res.KBps, res.BitErrors, len(res.Sent), res.LaneErrors)
-		return nil
+		return finishObs(o)
 	}
 
 	fmt.Printf("transmitting %d bits (%d bytes) over the MEE cache covert channel...\n",
@@ -236,7 +311,7 @@ func runSend() error {
 				i, res.Sent[i], res.Received[i], res.ProbeTimes[i], mark)
 		}
 	}
-	return nil
+	return finishObs(o)
 }
 
 // progressLine prints live fan-out state (cells done / ETA) to stderr.
@@ -251,6 +326,12 @@ func progressLine(name string) func(exp.Progress) {
 // stops dispatching and drains in-flight trials so a partial artifact can
 // still be written; a second one kills the process the usual way.
 func runGrid(spec *exp.Spec) (*exp.Report, error) {
+	if *metricsOn {
+		spec.Metrics = true
+	}
+	if *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "meecc: -trace records a single run; grid commands embed per-trial metrics snapshots in the artifact instead (use -metrics)")
+	}
 	cancel := make(chan struct{})
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt)
@@ -512,7 +593,10 @@ func writeChaosCSV(dir string, rep *exp.Report) (string, error) {
 }
 
 func runLatency() error {
-	res, err := meecc.CharacterizeLatency(meecc.DefaultOptions(*seed), 500)
+	o := observer()
+	opts := meecc.DefaultOptions(*seed)
+	opts.Obs = o
+	res, err := meecc.CharacterizeLatency(opts, 500)
 	if err != nil {
 		return err
 	}
@@ -522,11 +606,14 @@ func runLatency() error {
 		tb.Row(h.String(), hst.N(), hst.Mean())
 	}
 	tb.Render(os.Stdout)
-	return nil
+	return finishObs(o)
 }
 
 func runStealth() error {
-	rows, err := meecc.StealthStudy(meecc.DefaultOptions(*seed), meecc.Cycles(*window), 128)
+	o := observer()
+	opts := meecc.DefaultOptions(*seed)
+	opts.Obs = o
+	rows, err := meecc.StealthStudy(opts, meecc.Cycles(*window), 128)
 	if err != nil {
 		return err
 	}
@@ -535,11 +622,14 @@ func runStealth() error {
 		tb.Row(r.Attack, r.ErrorRate, r.LLCEvictionsPerBit, r.LLCHottestShare, r.MEEReadsPerBit)
 	}
 	tb.Render(os.Stdout)
-	return nil
+	return finishObs(o)
 }
 
 func runOverhead() error {
-	rows, err := meecc.MeasureOverhead(meecc.DefaultOptions(*seed), nil, 600)
+	o := observer()
+	opts := meecc.DefaultOptions(*seed)
+	opts.Obs = o
+	rows, err := meecc.MeasureOverhead(opts, nil, 600)
 	if err != nil {
 		return err
 	}
@@ -548,11 +638,14 @@ func runOverhead() error {
 		tb.Row(fmt.Sprintf("%d KB", r.WorkingSetBytes/1024), r.PlainCycles, r.EnclaveCycles, r.Slowdown())
 	}
 	tb.Render(os.Stdout)
-	return nil
+	return finishObs(o)
 }
 
 func runTiming() error {
-	rows, err := meecc.TimingStudy(meecc.DefaultOptions(*seed), 60)
+	o := observer()
+	opts := meecc.DefaultOptions(*seed)
+	opts.Obs = o
+	rows, err := meecc.TimingStudy(opts, 60)
 	if err != nil {
 		return err
 	}
@@ -565,15 +658,106 @@ func runTiming() error {
 		tb.Row(r.Mechanism, "yes", r.MeanOverhead, r.StdDev)
 	}
 	tb.Render(os.Stdout)
-	return nil
+	return finishObs(o)
 }
 
 func runActivity() error {
-	res, err := meecc.InferActivity(meecc.DefaultOptions(*seed), 32, 150_000)
+	o := observer()
+	opts := meecc.DefaultOptions(*seed)
+	opts.Obs = o
+	res, err := meecc.InferActivity(opts, 32, 150_000)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("accuracy %.0f%% over 32 epochs (quiet %.0f cyc, active %.0f cyc)\n",
 		100*res.Accuracy, res.QuietMean, res.ActiveMean)
+	return finishObs(o)
+}
+
+// runInspect renders an observability file as a text report. It sniffs the
+// payload: a metrics snapshot (from -metricsout or an artifact's obs block),
+// a Chrome trace-event JSON (from -trace), or an experiment artifact (from
+// batch/chaos), and exits non-zero on anything malformed.
+func runInspect() error {
+	args := flag.CommandLine.Args()
+	if len(args) != 1 {
+		return fmt.Errorf("usage: meecc inspect FILE (a -metricsout snapshot, a -trace JSON, or a batch artifact)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+
+	// An experiment artifact has a "study" discriminator; a metrics snapshot
+	// has counters/histograms; a trace has traceEvents. Try in that order so
+	// schema-version errors surface from the matching decoder.
+	var kind struct {
+		Study       json.RawMessage `json:"study"`
+		Cells       json.RawMessage `json:"cells"`
+		TraceEvents json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &kind); err != nil {
+		return fmt.Errorf("inspect: %s is not JSON: %v", args[0], err)
+	}
+	switch {
+	case kind.TraceEvents != nil:
+		sum, err := obs.ValidateChromeTrace(data)
+		if err != nil {
+			return fmt.Errorf("inspect: %s: %v", args[0], err)
+		}
+		fmt.Printf("%s: Chrome trace-event JSON (load in https://ui.perfetto.dev)\n", args[0])
+		sum.Render(os.Stdout)
+		return nil
+
+	case kind.Study != nil && kind.Cells != nil:
+		art, err := exp.UnmarshalArtifact(data)
+		if err != nil {
+			return fmt.Errorf("inspect: %s: %v", args[0], err)
+		}
+		return inspectArtifact(args[0], art)
+
+	default:
+		snap, err := obs.DecodeSnapshot(data)
+		if err != nil {
+			return fmt.Errorf("inspect: %s: %v", args[0], err)
+		}
+		fmt.Printf("%s: metrics snapshot (schema v%d)\n\n", args[0], snap.SchemaVersion)
+		snap.Render(os.Stdout)
+		return nil
+	}
+}
+
+// inspectArtifact summarizes a batch/chaos artifact: the grid shape, then —
+// when trials carry metrics snapshots — the summed semantic counters across
+// all trials.
+func inspectArtifact(path string, art *exp.Artifact) error {
+	fmt.Printf("%s: %s artifact %q (schema v%d)\n", path, art.Study, art.Name, art.SchemaVersion)
+	fmt.Printf("grid:    %d cells x %d trials, base seed %d\n", len(art.Cells), art.TrialsPerCell, art.BaseSeed)
+	failures := 0
+	observed := 0
+	total := obs.NewSnapshot()
+	for i := range art.Trials {
+		tr := &art.Trials[i]
+		if tr.Err != "" {
+			failures++
+		}
+		if tr.Obs == nil {
+			continue
+		}
+		observed++
+		for name, v := range tr.Obs.Counters {
+			total.Counters[name] += v
+		}
+	}
+	fmt.Printf("trials:  %d recorded, %d failed\n", len(art.Trials), failures)
+	if art.Partial {
+		fmt.Println("partial: run was interrupted before every trial dispatched")
+	}
+	if observed == 0 {
+		fmt.Println("metrics: none embedded (run with -metrics or \"metrics\": true in the spec)")
+		return nil
+	}
+	fmt.Printf("metrics: summed over %d trial snapshots\n\n", observed)
+	total.Render(os.Stdout)
 	return nil
 }

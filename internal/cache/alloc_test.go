@@ -1,6 +1,10 @@
 package cache
 
-import "testing"
+import (
+	"testing"
+
+	"meecc/internal/obs"
+)
 
 // TestLookupAllocFree pins Lookup's zero-allocation property — it runs on
 // every simulated memory access across L1/L2/LLC and the MEE cache.
@@ -28,6 +32,32 @@ func TestInsertInvalidateAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Insert/Invalidate allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestLookupInsertAllocFreeWithMetrics re-pins both hot paths with an
+// observer attached. Cache metrics are all deferred samples over the
+// existing Stats struct, so the hot path is unchanged by design — this test
+// keeps that true as the instrumentation evolves.
+func TestLookupInsertAllocFreeWithMetrics(t *testing.T) {
+	c := New("alloc", 16, 4, NewLRU())
+	o := obs.NewObserver()
+	c.Observe(o, "llc")
+	c.Insert(3, 100, false)
+	var tag Tag
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Lookup(3, 100)
+		c.Lookup(3, 101)
+		c.Insert(5, tag, tag%2 == 0)
+		c.Invalidate(5, tag-3)
+		tag++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Lookup/Insert allocated %.1f times per run, want 0", allocs)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["cache.llc.hits"] == 0 || snap.Counters["cache.llc.misses"] == 0 {
+		t.Errorf("cache samples missing from snapshot: %v", snap.Counters)
 	}
 }
 

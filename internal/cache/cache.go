@@ -5,7 +5,11 @@
 // mee package, not here.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"meecc/internal/obs"
+)
 
 // Tag identifies a cache line. By convention it is the full line address
 // (physical address >> log2(lineSize)), which keeps tags unique across sets
@@ -75,6 +79,33 @@ func (c *Cache) Sets() int { return c.sets }
 
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
+
+// Observe registers the cache's counters with an observer as deferred
+// samples under "cache.<prefix>.": nothing is added to the lookup/insert hot
+// path — the existing Stats fields are simply read at snapshot time. The
+// eviction-by-set distribution is summarized as the hottest set and its
+// eviction count, the signal the Prime+Probe channel rides on. Safe with a
+// nil observer.
+func (c *Cache) Observe(o *obs.Observer, prefix string) {
+	if o == nil {
+		return
+	}
+	p := "cache." + prefix + "."
+	o.Sample(p+"hits", obs.Semantic, func() uint64 { return c.stats.Hits })
+	o.Sample(p+"misses", obs.Semantic, func() uint64 { return c.stats.Misses })
+	o.Sample(p+"fills", obs.Semantic, func() uint64 { return c.stats.Fills })
+	o.Sample(p+"evictions", obs.Semantic, func() uint64 { return c.stats.Evictions })
+	o.Sample(p+"writebacks_out", obs.Semantic, func() uint64 { return c.stats.WritebacksOut })
+	o.Sample(p+"invalidations", obs.Semantic, func() uint64 { return c.stats.Invalidations })
+	o.Sample(p+"hot_set", obs.Semantic, func() uint64 {
+		set, _ := c.MaxSetEvictions()
+		return uint64(set)
+	})
+	o.Sample(p+"hot_set_evictions", obs.Semantic, func() uint64 {
+		_, n := c.MaxSetEvictions()
+		return n
+	})
+}
 
 // Stats returns a copy of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }

@@ -358,7 +358,7 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 			TrojanLive: func() []enclave.VAddr { return liveEvictionSet },
 			SpyLive:    func() []enclave.VAddr { return liveMonitor },
 			TrojanHome: cfg.TrojanCore, SpyHome: cfg.SpyCore,
-			StormCore:  cfg.NoiseCore,
+			StormCore: cfg.NoiseCore,
 		})
 	}
 	// Snapshot detector-visible statistics over the transmission phase.
@@ -408,5 +408,34 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 	}
 	res.ErrorRate = float64(res.BitErrors) / float64(len(res.Sent))
 	res.KBps = plat.WindowKBps(cfg.Window) / float64(rep)
+	if o := cfg.Obs; o != nil {
+		o.Counter("channel.windows").Add(uint64(len(res.ProbeTimes)))
+		o.Counter("channel.bits_sent").Add(uint64(len(res.Sent)))
+		o.Counter("channel.bits_decoded").Add(uint64(len(res.Received)))
+		o.Counter("channel.bit_errors").Add(uint64(res.BitErrors))
+		for _, pos := range res.ErrorBits {
+			o.Histogram("channel.error_position").Observe(int64(pos))
+		}
+		if tr := o.Tracer(); tr != nil {
+			// Reconstruct the transmission timeline: per-window probe
+			// latencies as instants on a "channel" track, and the cumulative
+			// bit-error count as a counter track aligned to logical bits.
+			track := tr.Track("channel")
+			nProbe := tr.Name("channel.probe")
+			nErrs := tr.Name("channel.errors")
+			probeOffset := sim.Cycles(float64(cfg.Window) * cfg.ProbePhase)
+			for i, pt := range res.ProbeTimes {
+				tr.Instant(track, nProbe, int64(t0+sim.Cycles(i)*cfg.Window+probeOffset), int64(pt))
+			}
+			errSoFar, ei := 0, 0
+			for i := range res.Sent {
+				if ei < len(res.ErrorBits) && res.ErrorBits[ei] == i {
+					errSoFar++
+					ei++
+				}
+				tr.Count(nErrs, int64(t0+sim.Cycles((i+1)*rep)*cfg.Window), int64(errSoFar))
+			}
+		}
+	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"meecc/internal/code"
+	"meecc/internal/obs"
 )
 
 // ChaosTrial runs one chaos-study cell: the same payload is pushed through
@@ -24,14 +25,21 @@ import (
 // Metrics: static_ber, static_delivered, static_goodput_kbps,
 // adaptive_delivered, adaptive_goodput_kbps, adaptive_rounds, retransmits,
 // recals, resyncs, bits_sent, faults_applied.
-func ChaosTrial(params map[string]string, seed uint64) (map[string]float64, error) {
+//
+// With withMetrics set, each arm runs under its own observer and the two
+// snapshots are merged under "static." / "adaptive." prefixes, so the fault
+// counters (fault.applied.*) of an arm sit next to that same arm's
+// degradation and error counters — a degradation event in the adaptive arm
+// correlates directly with the faults injected into that arm, instead of the
+// per-trial component state being discarded.
+func ChaosTrial(params map[string]string, seed uint64, withMetrics bool) (map[string]float64, *obs.Snapshot, error) {
 	payloadBytes := 16
 	chanParams := make(map[string]string, len(params))
 	for name, val := range params {
 		if name == "payload" {
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 1 || n > code.MaxPayload {
-				return nil, fmt.Errorf("core: chaos parameter payload=%q: want 1..%d", val, code.MaxPayload)
+				return nil, nil, fmt.Errorf("core: chaos parameter payload=%q: want 1..%d", val, code.MaxPayload)
 			}
 			payloadBytes = n
 			continue
@@ -41,12 +49,17 @@ func ChaosTrial(params map[string]string, seed uint64) (map[string]float64, erro
 	// "bits" and "pattern" make no sense here: the payload defines the bits.
 	for _, bad := range []string{"bits", "pattern"} {
 		if _, ok := chanParams[bad]; ok {
-			return nil, fmt.Errorf("core: chaos study does not accept the %q parameter", bad)
+			return nil, nil, fmt.Errorf("core: chaos study does not accept the %q parameter", bad)
 		}
 	}
 	base, err := BuildChannelConfig(chanParams, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var oStatic, oAdaptive *obs.Observer
+	if withMetrics {
+		oStatic = obs.NewObserver()
+		oAdaptive = obs.NewObserver()
 	}
 
 	payload := make([]byte, payloadBytes)
@@ -59,13 +72,14 @@ func ChaosTrial(params map[string]string, seed uint64) (map[string]float64, erro
 	codec := code.Codec{InterleaveDepth: 8}
 	encoded, err := codec.Encode(payload)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	staticCfg := base
 	staticCfg.Bits = encoded
+	staticCfg.Obs = oStatic
 	ch, err := RunChannel(staticCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	staticDelivered := 0.0
 	staticGoodput := 0.0
@@ -77,12 +91,20 @@ func ChaosTrial(params map[string]string, seed uint64) (map[string]float64, erro
 
 	// Adaptive arm: the resilient session under the identical campaign.
 	rcfg := ResilientConfig{ChannelConfig: base}
+	rcfg.Obs = oAdaptive
 	res, rerr := RunResilient(rcfg, payload)
 	adaptiveDelivered := 0.0
 	if rerr == nil && res.Delivered {
 		adaptiveDelivered = 1
 	} else if res == nil {
-		return nil, rerr // config-level failure, not a link outcome
+		return nil, nil, rerr // config-level failure, not a link outcome
+	}
+
+	var snap *obs.Snapshot
+	if withMetrics {
+		snap = obs.NewSnapshot()
+		snap.Merge("static.", oStatic.Snapshot())
+		snap.Merge("adaptive.", oAdaptive.Snapshot())
 	}
 
 	return map[string]float64{
@@ -97,5 +119,5 @@ func ChaosTrial(params map[string]string, seed uint64) (map[string]float64, erro
 		"resyncs":               float64(res.Report.Resyncs),
 		"bits_sent":             float64(res.BitsSent),
 		"faults_applied":        float64(len(ch.Faults) + len(res.Faults)),
-	}, nil
+	}, snap, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"meecc/internal/enclave"
+	"meecc/internal/obs"
 	"meecc/internal/platform"
 	"meecc/internal/sim"
 )
@@ -28,6 +29,10 @@ type Options struct {
 	// (organization ablations).
 	MEESets int
 	MEEWays int
+	// Obs, when non-nil, collects metrics (and timeline events if a tracer
+	// is attached) from every platform the experiment boots. Nil disables
+	// all instrumentation.
+	Obs *obs.Observer
 }
 
 // platformConfig expands Options into a full machine configuration.
@@ -48,6 +53,7 @@ func (o Options) platformConfig() platform.Config {
 	if o.MEEWays > 0 {
 		cfg.MEE.CacheWays = o.MEEWays
 	}
+	cfg.Obs = o.Obs
 	return cfg
 }
 

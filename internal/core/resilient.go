@@ -7,6 +7,7 @@ import (
 	"meecc/internal/code"
 	"meecc/internal/enclave"
 	"meecc/internal/fault"
+	"meecc/internal/obs"
 	"meecc/internal/platform"
 	"meecc/internal/sim"
 )
@@ -279,6 +280,10 @@ type controller struct {
 	rounds    int
 	bitsSent  int
 	report    DegradationReport
+
+	// Degradation-ladder transition counters (nil when unobserved).
+	cWiden *obs.Counter
+	cRep   *obs.Counter
 }
 
 func newController(cfg *ResilientConfig, chunkSizes []int) *controller {
@@ -296,6 +301,23 @@ func newController(cfg *ResilientConfig, chunkSizes []int) *controller {
 		c.chunkBits[i] = codec.EncodedBits(n)
 	}
 	return c
+}
+
+// observe surfaces the controller's session accounting: the ARQ/ladder
+// totals as deferred samples over the report (read once, at snapshot time)
+// and per-rung degradation counters incremented as the ladder moves. Safe
+// with a nil observer.
+func (c *controller) observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.Sample("arq.rounds", obs.Semantic, func() uint64 { return uint64(c.rounds) })
+	o.Sample("arq.retransmits", obs.Semantic, func() uint64 { return uint64(c.report.Retransmits) })
+	o.Sample("arq.bits_sent", obs.Semantic, func() uint64 { return uint64(c.bitsSent) })
+	o.Sample("channel.recalibrations", obs.Semantic, func() uint64 { return uint64(c.report.Recals) })
+	o.Sample("channel.resyncs", obs.Semantic, func() uint64 { return uint64(c.report.Resyncs) })
+	c.cWiden = o.Counter("channel.degrade.widen_window")
+	c.cRep = o.Counter("channel.degrade.repetition")
 }
 
 // pending returns undelivered chunk indices in order.
@@ -368,6 +390,7 @@ func (c *controller) degrade(at sim.Cycles) bool {
 			c.window = c.cfg.MaxWindow
 		}
 		c.report.add(c.rounds, at, ActWidenWindow, "window -> %d", c.window)
+		c.cWiden.Inc()
 		return true
 	}
 	if c.rep < c.cfg.MaxRepetition {
@@ -376,6 +399,7 @@ func (c *controller) degrade(at sim.Cycles) bool {
 			c.rep = c.cfg.MaxRepetition
 		}
 		c.report.add(c.rounds, at, ActRepetition, "repetition -> %d", c.rep)
+		c.cRep.Inc()
 		return true
 	}
 	return false
@@ -558,6 +582,7 @@ func RunResilient(cfg ResilientConfig, payload []byte) (*ResilientResult, error)
 	spyCands := pageAddrs(spyBase+enclave.VAddr(calSlices*calPages*enclave.PageBytes), spyCandidates, cfg.Index512)
 
 	ctl := newController(&cfg, chunkSizes)
+	ctl.observe(cfg.Obs)
 	s := &resilientSession{}
 	res := &ResilientResult{Chunks: len(chunks)}
 	var trojanErr, spyErr error
@@ -822,7 +847,7 @@ func RunResilient(cfg ResilientConfig, payload []byte) (*ResilientResult, error)
 			TrojanLive: func() []enclave.VAddr { return liveEvictionSet },
 			SpyLive:    func() []enclave.VAddr { return liveMonitor },
 			TrojanHome: cfg.TrojanCore, SpyHome: cfg.SpyCore,
-			StormCore:  cfg.NoiseCore,
+			StormCore: cfg.NoiseCore,
 		})
 	}
 

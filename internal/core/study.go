@@ -6,6 +6,7 @@ import (
 
 	"meecc/internal/enclave"
 	"meecc/internal/fault"
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 )
 
@@ -140,14 +141,19 @@ func BuildChannelConfig(params map[string]string, seed uint64) (ChannelConfig, e
 // at the given seed and returns its scalar metrics — the harness's
 // "channel" study. A run whose setup fails returns an error (the harness
 // records it as a cell failure).
-func ChannelTrial(params map[string]string, seed uint64) (map[string]float64, error) {
+func ChannelTrial(params map[string]string, seed uint64, withMetrics bool) (map[string]float64, *obs.Snapshot, error) {
 	cfg, err := BuildChannelConfig(params, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var o *obs.Observer
+	if withMetrics {
+		o = obs.NewObserver()
+		cfg.Obs = o
 	}
 	res, err := RunChannel(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return map[string]float64{
 		"kbps":         res.KBps,
@@ -156,7 +162,7 @@ func ChannelTrial(params map[string]string, seed uint64) (map[string]float64, er
 		"bits":         float64(len(res.Sent)),
 		"eviction_set": float64(res.EvictionSetSize),
 		"setup_mcyc":   float64(res.SetupCycles) / 1e6,
-	}, nil
+	}, o.Snapshot(), nil
 }
 
 // CapacityTrial runs one §4.1 capacity experiment (Figure 4) from
@@ -166,7 +172,7 @@ func ChannelTrial(params map[string]string, seed uint64) (map[string]float64, er
 //	samples  eviction tests per candidate-set size
 //
 // Metrics: p_evict_<n> per candidate count n, plus capacity_kb.
-func CapacityTrial(params map[string]string, seed uint64) (map[string]float64, error) {
+func CapacityTrial(params map[string]string, seed uint64, withMetrics bool) (map[string]float64, *obs.Snapshot, error) {
 	opts := DefaultOptions(seed)
 	samples := 25
 	for name, val := range params {
@@ -177,22 +183,27 @@ func CapacityTrial(params map[string]string, seed uint64) (map[string]float64, e
 		case "samples":
 			samples, err = strconv.Atoi(val)
 		default:
-			return nil, fmt.Errorf("core: unknown capacity parameter %q", name)
+			return nil, nil, fmt.Errorf("core: unknown capacity parameter %q", name)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: capacity parameter %s=%q: %v", name, val, err)
+			return nil, nil, fmt.Errorf("core: capacity parameter %s=%q: %v", name, val, err)
 		}
 	}
 	if samples < 1 {
-		return nil, fmt.Errorf("core: capacity parameter samples must be >= 1, got %d", samples)
+		return nil, nil, fmt.Errorf("core: capacity parameter samples must be >= 1, got %d", samples)
+	}
+	var o *obs.Observer
+	if withMetrics {
+		o = obs.NewObserver()
+		opts.Obs = o
 	}
 	res, err := MeasureCapacity(opts, nil, samples)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := map[string]float64{"capacity_kb": float64(res.CapacityBytes) / 1024}
 	for _, p := range res.Points {
 		out[fmt.Sprintf("p_evict_%d", p.Candidates)] = p.Probability
 	}
-	return out, nil
+	return out, o.Snapshot(), nil
 }

@@ -94,7 +94,7 @@ func TestParseNoiseKind(t *testing.T) {
 }
 
 func TestCapacityTrialMetrics(t *testing.T) {
-	m, err := CapacityTrial(map[string]string{"samples": "10"}, 42)
+	m, _, err := CapacityTrial(map[string]string{"samples": "10"}, 42, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,10 +104,10 @@ func TestCapacityTrialMetrics(t *testing.T) {
 	if p, ok := m["p_evict_64"]; !ok || p < 0.995 {
 		t.Errorf("p_evict_64 = %v, want 1.0", p)
 	}
-	if _, err := CapacityTrial(map[string]string{"samples": "0"}, 1); err == nil {
+	if _, _, err := CapacityTrial(map[string]string{"samples": "0"}, 1, false); err == nil {
 		t.Error("samples=0 accepted")
 	}
-	if _, err := CapacityTrial(map[string]string{"bogus": "1"}, 1); err == nil {
+	if _, _, err := CapacityTrial(map[string]string{"bogus": "1"}, 1, false); err == nil {
 		t.Error("unknown capacity param accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"meecc/internal/cache"
 	"meecc/internal/dram"
+	"meecc/internal/obs"
 )
 
 // TestWarmAccessAllocFree pins the hierarchy's allocation-free fast path:
@@ -23,6 +24,37 @@ func TestWarmAccessAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm Access allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWarmAccessAllocFreeWithMetrics re-pins the hit fast path with live
+// instrumentation attached: the hierarchy's metrics are deferred samples plus
+// pool counters, so enabling them must not move the allocation needle.
+func TestWarmAccessAllocFreeWithMetrics(t *testing.T) {
+	h := New(DefaultConfig(2), cache.NewLRU())
+	o := obs.NewObserver()
+	h.Observe(o)
+	var line [dram.LineSize]byte
+	h.Fill(0, 0x1000, line, false)
+	h.Fill(0, 0x2000, line, false)
+	allocs := testing.AllocsPerRun(200, func() {
+		if lvl, _ := h.Access(0, 0x1000, false); lvl == Miss {
+			t.Fatal("expected warm hit")
+		}
+		h.Access(0, 0x2000, true)
+		h.Access(1, 0x1000, false)
+		h.Flush(0x2000)
+		h.Fill(0, 0x2000, line, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented warm Access allocated %.1f times per run, want 0", allocs)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["cache.l1.hits"] == 0 {
+		t.Error("aggregated L1 hit sample missing")
+	}
+	if snap.Counters["cpucache.flushes"] == 0 {
+		t.Error("flush counter missing")
 	}
 }
 

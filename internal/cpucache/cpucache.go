@@ -16,6 +16,7 @@ import (
 
 	"meecc/internal/cache"
 	"meecc/internal/dram"
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 )
 
@@ -101,14 +102,22 @@ type Hierarchy struct {
 	// path allocates nothing; victim is the scratch Victim those drops fill.
 	bufFree []*lineBuf
 	victim  Victim
+
+	// Observability (nil when disabled): free-list churn and clflush
+	// counters; per-level cache statistics surface as deferred samples.
+	cBufAlloc   *obs.Counter
+	cBufRecycle *obs.Counter
+	cFlush      *obs.Counter
 }
 
 func (h *Hierarchy) newLineBuf() *lineBuf {
 	if n := len(h.bufFree); n > 0 {
 		b := h.bufFree[n-1]
 		h.bufFree = h.bufFree[:n-1]
+		h.cBufRecycle.Inc()
 		return b
 	}
+	h.cBufAlloc.Inc()
 	return &lineBuf{}
 }
 
@@ -132,6 +141,33 @@ func New(cfg Config, policy cache.Policy) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Observe attaches an observer: the shared LLC gets the full per-cache
+// sample set, the per-core L1/L2 stats are aggregated into summed samples,
+// and the hot path gains only nil-checked counters for line-buffer churn and
+// clflush. Safe to call with nil.
+func (h *Hierarchy) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	h.llc.Observe(o, "llc")
+	agg := func(name string, field func(cache.Stats) uint64, caches []*cache.Cache) {
+		o.Sample(name, obs.Semantic, func() uint64 {
+			var n uint64
+			for _, c := range caches {
+				n += field(c.Stats())
+			}
+			return n
+		})
+	}
+	agg("cache.l1.hits", func(s cache.Stats) uint64 { return s.Hits }, h.l1)
+	agg("cache.l1.misses", func(s cache.Stats) uint64 { return s.Misses }, h.l1)
+	agg("cache.l2.hits", func(s cache.Stats) uint64 { return s.Hits }, h.l2)
+	agg("cache.l2.misses", func(s cache.Stats) uint64 { return s.Misses }, h.l2)
+	h.cBufAlloc = o.Counter("cpucache.linebuf.alloc")
+	h.cBufRecycle = o.Counter("cpucache.linebuf.recycled")
+	h.cFlush = o.Counter("cpucache.flushes")
+}
 
 // LLC exposes the shared cache for statistics and tests.
 func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
@@ -270,6 +306,7 @@ func (h *Hierarchy) dropLine(addr dram.Addr) *Victim {
 // that asymmetry is the paper's challenge 1.
 func (h *Hierarchy) Flush(addr dram.Addr) (*Victim, sim.Cycles) {
 	addr = lineAddr(addr)
+	h.cFlush.Inc()
 	lat := sim.Cycles(h.cfg.FlushLat)
 	if _, ok := h.bufs[addr]; !ok {
 		return nil, lat

@@ -1,0 +1,52 @@
+package detect
+
+import (
+	"testing"
+
+	"meecc/internal/cache"
+	"meecc/internal/obs"
+)
+
+// sampleAllocs measures Sample() under sustained alarm-triggering eviction
+// churn: every window concentrates evictions in one set, so both the window
+// bookkeeping and the alarm branch execute.
+func sampleAllocs(t *testing.T, o *obs.Observer) float64 {
+	t.Helper()
+	c := cache.New("llc", 64, 2, cache.NewLRU())
+	m := NewMonitor(Config{MinEvictions: 4, HotShare: 0.3}, c)
+	m.Observe(o)
+	var tag cache.Tag
+	churn := func() {
+		for i := 0; i < 8; i++ {
+			c.Insert(5, tag, false) // one hot set: conflict evictions pile up
+			tag++
+		}
+	}
+	churn()
+	if !m.Sample() {
+		t.Fatal("churn did not trigger the alarm path")
+	}
+	return testing.AllocsPerRun(100, func() {
+		churn()
+		m.Sample()
+	})
+}
+
+// TestSampleAllocFreeWithMetrics pins the monitor's zero-allocation property
+// with instrumentation disabled (Observe(nil)) and enabled: the alarm counter
+// is a nil-checked plain increment and the totals surface as deferred
+// samples, so neither state may allocate. (detect_test.go covers the
+// never-observed monitor.)
+func TestSampleAllocFreeWithMetrics(t *testing.T) {
+	if n := sampleAllocs(t, nil); n != 0 {
+		t.Errorf("disabled: Sample allocated %.1f times per run, want 0", n)
+	}
+	o := obs.NewObserver()
+	if n := sampleAllocs(t, o); n != 0 {
+		t.Errorf("enabled: Sample allocated %.1f times per run, want 0", n)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["detect.alarm_events"] == 0 || snap.Counters["detect.windows"] == 0 {
+		t.Errorf("detect metrics missing from snapshot: %v", snap.Counters)
+	}
+}

@@ -12,6 +12,7 @@ package detect
 
 import (
 	"meecc/internal/cache"
+	"meecc/internal/obs"
 )
 
 // Config tunes the monitor.
@@ -48,6 +49,10 @@ type Monitor struct {
 	PeakShare float64
 	// HotSet is the set that triggered the latest alarm.
 	HotSet int
+
+	// cAlarm (nil when disabled) counts alarms on the sample hot path; the
+	// window/alarm totals surface as deferred samples via Observe.
+	cAlarm *obs.Counter
 }
 
 // NewMonitor attaches a monitor to a cache (typically the shared LLC).
@@ -57,6 +62,20 @@ func NewMonitor(cfg Config, target *cache.Cache) *Monitor {
 		target: target,
 		prev:   target.EvictionsBySet(),
 	}
+}
+
+// Observe attaches an observer: window and alarm totals become deferred
+// samples, peak concentration is exported in parts per million (snapshots
+// carry integers only), and the Sample hot path gains one nil-checked alarm
+// counter. Safe to call with nil.
+func (m *Monitor) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.Sample("detect.windows", obs.Semantic, func() uint64 { return uint64(m.Windows) })
+	o.Sample("detect.alarms", obs.Semantic, func() uint64 { return uint64(m.Alarms) })
+	o.Sample("detect.peak_share_ppm", obs.Semantic, func() uint64 { return uint64(m.PeakShare * 1e6) })
+	m.cAlarm = o.Counter("detect.alarm_events")
 }
 
 // Sample closes the current observation window: it diffs the per-set
@@ -86,6 +105,7 @@ func (m *Monitor) Sample() (alarmed bool) {
 	if share >= m.cfg.HotShare {
 		m.Alarms++
 		m.HotSet = hotSet
+		m.cAlarm.Inc()
 		return true
 	}
 	return false

@@ -108,6 +108,19 @@ func MarshalArtifact(a *Artifact) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// UnmarshalArtifact parses an artifact produced by MarshalArtifact and
+// validates its schema version — the read side used by `meecc inspect`.
+func UnmarshalArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	if a.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("exp: artifact schema version %d, want %d", a.SchemaVersion, SchemaVersion)
+	}
+	return &a, nil
+}
+
 // GitRev returns the repository's HEAD revision (with a "-dirty" suffix
 // when the worktree has changes), or "unknown" outside a git checkout.
 func GitRev() string {

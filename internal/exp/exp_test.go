@@ -11,20 +11,21 @@ import (
 	"sync"
 	"testing"
 
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 )
 
 // fakeRunner is a pure function of the job — deterministic metrics derived
 // from the seed, with a scripted failure for one (cell, trial) pair.
-func fakeRunner(j Job) (Metrics, error) {
+func fakeRunner(j Job) (Metrics, *obs.Snapshot, error) {
 	if v, _ := j.Cell.Get("mode"); v == "flaky" && j.Trial == 1 {
-		return nil, errors.New("scripted setup failure")
+		return nil, nil, errors.New("scripted setup failure")
 	}
 	x := SplitMix64(j.Seed)
 	return Metrics{
 		"rate": float64(x%10_000) / 100,
 		"err":  float64((x>>32)%1000) / 1000,
-	}, nil
+	}, nil, nil
 }
 
 func gridSpec() *Spec {
@@ -208,8 +209,8 @@ func TestProgressReachesTotals(t *testing.T) {
 func TestAggregateStatistics(t *testing.T) {
 	spec := &Spec{Name: "agg", Trials: 4}
 	vals := map[int]float64{0: 1, 1: 2, 2: 3, 3: 6}
-	rep, err := Run(spec, func(j Job) (Metrics, error) {
-		return Metrics{"v": vals[j.Trial]}, nil
+	rep, err := Run(spec, func(j Job) (Metrics, *obs.Snapshot, error) {
+		return Metrics{"v": vals[j.Trial]}, nil, nil
 	}, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -311,7 +312,7 @@ func TestWriteArtifactsRoundTrip(t *testing.T) {
 }
 
 func TestPanickingTrialIsRecordedNotFatal(t *testing.T) {
-	runner := func(j Job) (Metrics, error) {
+	runner := func(j Job) (Metrics, *obs.Snapshot, error) {
 		if v, _ := j.Cell.Get("mode"); v == "flaky" && j.Trial == 2 {
 			panic("trial blew up")
 		}
@@ -347,7 +348,7 @@ func TestCancelDrainsAndFlagsPartial(t *testing.T) {
 	started := make(chan struct{}, 64)
 	release := make(chan struct{})
 	var once sync.Once
-	runner := func(j Job) (Metrics, error) {
+	runner := func(j Job) (Metrics, *obs.Snapshot, error) {
 		started <- struct{}{}
 		once.Do(func() { close(cancel) }) // cancel as soon as the first trial runs
 		<-release
@@ -442,7 +443,7 @@ func TestChaosArtifactByteIdenticalAcrossWorkers(t *testing.T) {
 // must report the actor's name and the actor goroutine's original stack —
 // not the worker goroutine's resume plumbing.
 func TestActorPanicCarriesActorNameAndStack(t *testing.T) {
-	runner := func(j Job) (Metrics, error) {
+	runner := func(j Job) (Metrics, *obs.Snapshot, error) {
 		if v, _ := j.Cell.Get("mode"); v == "flaky" {
 			eng := sim.NewEngine(j.Seed)
 			defer eng.Close()

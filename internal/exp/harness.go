@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 	"meecc/internal/trace"
 )
@@ -29,8 +30,10 @@ func (j Job) Params() map[string]string { return j.Spec.ParamMap(j.Cell) }
 // Runner executes one trial. It must be safe for concurrent use and must
 // depend only on the job (in particular its seed), never on shared mutable
 // state — the harness's determinism guarantee is exactly that the runner
-// is a pure function of the job.
-type Runner func(Job) (Metrics, error)
+// is a pure function of the job. The snapshot return is nil unless the
+// spec requested metrics collection (Spec.Metrics); when non-nil it must be
+// a Semantic-only snapshot so the byte-identity guarantee extends to it.
+type Runner func(Job) (Metrics, *obs.Snapshot, error)
 
 // TrialResult records one finished trial in the artifact.
 type TrialResult struct {
@@ -39,7 +42,11 @@ type TrialResult struct {
 	Trial   int     `json:"trial"`
 	Seed    uint64  `json:"seed"`
 	Metrics Metrics `json:"metrics,omitempty"`
-	Err     string  `json:"error,omitempty"`
+	// Obs is the trial's metrics snapshot when the spec set Metrics; the
+	// omitempty keeps artifacts from unobserved runs byte-identical to
+	// pre-observability output.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+	Err string        `json:"error,omitempty"`
 }
 
 // CellResult aggregates one cell across its trials.
@@ -178,11 +185,12 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 					Trial:   job.Trial,
 					Seed:    job.Seed,
 				}
-				m, err := runTrial(runner, job)
+				m, snap, err := runTrial(runner, job)
 				if err != nil {
 					tr.Err = err.Error()
 				} else {
 					tr.Metrics = m
+					tr.Obs = snap
 				}
 				results[i] = tr
 
@@ -251,7 +259,7 @@ dispatch:
 // simulation Run boundary arrive as *sim.PanicError carrying the faulting
 // actor's name and its original stack; report those instead of this
 // goroutine's stack, which would only show the engine's resume plumbing.
-func runTrial(runner Runner, job Job) (m Metrics, err error) {
+func runTrial(runner Runner, job Job) (m Metrics, snap *obs.Snapshot, err error) {
 	defer func() {
 		r := recover()
 		if r == nil {

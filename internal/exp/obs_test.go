@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"meecc/internal/obs"
+	"meecc/internal/sim"
+)
+
+// metricsSpec is a tiny real channel study with metrics collection on.
+func metricsSpec() *Spec {
+	return &Spec{
+		Name:     "obs-det",
+		Study:    "channel",
+		BaseSeed: 42,
+		Trials:   1,
+		Params:   map[string]string{"bits": "8", "pattern": "alternating"},
+		Axes:     []Axis{{Name: "window", Values: []string{"15000"}}},
+		Metrics:  true,
+	}
+}
+
+func renderArtifact(t *testing.T, spec *Spec, workers int) []byte {
+	t.Helper()
+	rep, err := RunSpec(spec, Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Failures(); n > 0 {
+		t.Fatalf("%d trials failed: %+v", n, rep.Trials)
+	}
+	b, err := MarshalArtifact(rep.Artifact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMetricsSnapshotsByteIdenticalAcrossWorkersAndSchedulers is the
+// determinism half of the observability contract: the embedded snapshots are
+// Semantic-only, so artifact bytes must not depend on worker count OR on
+// which scheduler the engine ran (the heap scheduler and the linear oracle
+// execute actors in different micro-orders but must observe identical
+// simulations).
+func TestMetricsSnapshotsByteIdenticalAcrossWorkersAndSchedulers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full channel simulations in -short mode")
+	}
+	spec := metricsSpec()
+	heap1 := renderArtifact(t, spec, 1)
+	heap8 := renderArtifact(t, spec, 8)
+	if !bytes.Equal(heap1, heap8) {
+		t.Fatalf("metrics artifacts differ between workers=1 and workers=8:\n%s\n---\n%s", heap1, heap8)
+	}
+	sim.SetForceLinearSchedulerForTest(true)
+	defer sim.SetForceLinearSchedulerForTest(false)
+	linear := renderArtifact(t, spec, 1)
+	if !bytes.Equal(heap1, linear) {
+		t.Fatalf("metrics artifacts differ between heap and linear schedulers:\n%s\n---\n%s", heap1, linear)
+	}
+}
+
+// TestMetricsOffKeepsArtifactFreeOfObs is the zero-overhead half: without
+// Spec.Metrics the artifact must not contain an obs block at all — the
+// byte-compatibility guarantee for pre-observability artifacts.
+func TestMetricsOffKeepsArtifactFreeOfObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full channel simulation in -short mode")
+	}
+	spec := metricsSpec()
+	spec.Metrics = false
+	art := renderArtifact(t, spec, 1)
+	if bytes.Contains(art, []byte(`"obs"`)) {
+		t.Fatal("metrics-off artifact contains an obs block")
+	}
+}
+
+// TestArtifactObsBlockSchema pins the observable surface of the embedded
+// snapshot: schema version, and the invariant counter names every channel
+// trial must produce. Renaming one of these counters is an artifact schema
+// change.
+func TestArtifactObsBlockSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full channel simulation in -short mode")
+	}
+	rep, err := RunSpec(metricsSpec(), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *obs.Snapshot
+	for _, tr := range rep.Trials {
+		if tr.Obs != nil {
+			snap = tr.Obs
+		}
+	}
+	if snap == nil {
+		t.Fatal("no trial carried a metrics snapshot")
+	}
+	if snap.SchemaVersion != obs.SnapshotSchemaVersion {
+		t.Fatalf("snapshot schema version %d, want %d", snap.SchemaVersion, obs.SnapshotSchemaVersion)
+	}
+	invariant := []string{
+		"sim.ops", "sim.busy_cycles", "sim.clock",
+		"mee.reads", "mee.hits.versions-hit",
+		"cache.mee.hits", "cache.llc.fills", "cache.l1.misses",
+		"channel.bits_sent", "channel.bits_decoded", "channel.windows",
+	}
+	for _, name := range invariant {
+		if snap.Counters[name] == 0 {
+			t.Errorf("invariant counter %q missing or zero in trial snapshot", name)
+		}
+	}
+	if snap.Histograms["mee.read_latency"].Count == 0 {
+		t.Error("mee.read_latency histogram missing from trial snapshot")
+	}
+	// Diagnostic instruments must never reach the artifact.
+	for name := range snap.Counters {
+		switch name {
+		case "sim.resumes", "sim.horizon_truncations":
+			t.Errorf("diagnostic counter %q leaked into the artifact snapshot", name)
+		}
+	}
+	// Round trip: the embedded block re-encodes canonically.
+	enc := snap.Encode()
+	dec, err := obs.DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, dec.Encode()) {
+		t.Error("snapshot does not re-encode canonically")
+	}
+}
+
+// TestChaosMetricsCorrelateArmsWithFaults exercises the chaos study with
+// metrics on: the merged snapshot must carry per-arm fault counters next to
+// that arm's channel counters, which is what makes a degradation event
+// attributable to the faults injected into the same arm.
+func TestChaosMetricsCorrelateArmsWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec := &Spec{
+		Name:     "chaos-obs",
+		Study:    "chaos",
+		BaseSeed: 7,
+		Trials:   1,
+		Params:   map[string]string{"payload": "4", "faults": "meeflush", "intensity": "6"},
+		Metrics:  true,
+	}
+	rep, err := RunSpec(spec, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *obs.Snapshot
+	for _, tr := range rep.Trials {
+		if tr.Obs != nil {
+			snap = tr.Obs
+		}
+	}
+	if snap == nil {
+		t.Fatal("chaos trial carried no snapshot")
+	}
+	for _, arm := range []string{"static.", "adaptive."} {
+		if snap.Counters[arm+"fault.applied.meeflush"] == 0 {
+			t.Errorf("%sfault.applied.meeflush missing: the arm's faults are not correlated", arm)
+		}
+	}
+	// The static arm runs RunChannel (channel.* counters); the adaptive arm
+	// runs the session layer (arq.* counters).
+	if snap.Counters["static.channel.bits_sent"] == 0 {
+		t.Error("static.channel.bits_sent missing")
+	}
+	if snap.Counters["adaptive.arq.bits_sent"] == 0 {
+		t.Error("adaptive.arq.bits_sent missing")
+	}
+	// The adaptive arm's session accounting rides along.
+	if snap.Counters["adaptive.arq.rounds"] == 0 {
+		t.Error("adaptive.arq.rounds missing from merged snapshot")
+	}
+}

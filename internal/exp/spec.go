@@ -36,6 +36,11 @@ type Spec struct {
 	// them on name collision.
 	Params map[string]string `json:"params,omitempty"`
 	Axes   []Axis            `json:"axes"`
+	// Metrics, when true, attaches a fresh observer to every trial and
+	// embeds the resulting semantic metrics snapshot in the artifact
+	// (TrialResult.Obs). Snapshots contain only semantic instruments, so
+	// artifacts stay byte-identical across worker counts and schedulers.
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 // Cell is one point of the grid: the axis assignment at a grid index.

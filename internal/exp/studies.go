@@ -5,19 +5,20 @@ import (
 	"sort"
 
 	"meecc/internal/core"
+	"meecc/internal/obs"
 )
 
 // studies maps Spec.Study names to runners. Every runner is a pure
 // function of the job's parameters and seed (see Runner's contract).
 var studies = map[string]Runner{
-	"channel": func(j Job) (Metrics, error) {
-		return core.ChannelTrial(j.Params(), j.Seed)
+	"channel": func(j Job) (Metrics, *obs.Snapshot, error) {
+		return core.ChannelTrial(j.Params(), j.Seed, j.Spec.Metrics)
 	},
-	"capacity": func(j Job) (Metrics, error) {
-		return core.CapacityTrial(j.Params(), j.Seed)
+	"capacity": func(j Job) (Metrics, *obs.Snapshot, error) {
+		return core.CapacityTrial(j.Params(), j.Seed, j.Spec.Metrics)
 	},
-	"chaos": func(j Job) (Metrics, error) {
-		return core.ChaosTrial(j.Params(), j.Seed)
+	"chaos": func(j Job) (Metrics, *obs.Snapshot, error) {
+		return core.ChaosTrial(j.Params(), j.Seed, j.Spec.Metrics)
 	},
 }
 

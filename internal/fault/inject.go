@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"meecc/internal/enclave"
+	"meecc/internal/obs"
 	"meecc/internal/platform"
 	"meecc/internal/sim"
 )
@@ -61,6 +62,14 @@ type Injector struct {
 	plan *Plan
 	tg   Targets
 	log  []Injected
+
+	// Observability (nil when disabled): per-kind applied/skipped counters
+	// and instants on a dedicated "faults" timeline track, so a degradation
+	// event in the channel metrics can be lined up with the exact fault that
+	// caused it.
+	o       *obs.Observer
+	tr      *obs.Tracer
+	faultTk obs.TrackID
 }
 
 // Log returns the applied-fault log in application order.
@@ -79,7 +88,19 @@ func (in *Injector) Counts() map[Kind]int {
 }
 
 func (in *Injector) record(at sim.Cycles, k Kind, t Target, format string, args ...any) {
-	in.log = append(in.log, Injected{At: at, Kind: k, Target: t, Note: fmt.Sprintf(format, args...)})
+	note := fmt.Sprintf(format, args...)
+	in.log = append(in.log, Injected{At: at, Kind: k, Target: t, Note: note})
+	if in.o == nil {
+		return
+	}
+	if len(note) > 0 && note[0] == '!' {
+		in.o.Counter("fault.skipped").Inc()
+		return
+	}
+	in.o.Counter("fault.applied." + k.String()).Inc()
+	if in.tr != nil {
+		in.tr.Instant(in.faultTk, in.tr.Name("fault."+k.String()), int64(at), int64(k))
+	}
 }
 
 // Attach arms the plan on a booted platform: one injector actor walks the
@@ -91,6 +112,12 @@ func (p *Plan) Attach(plat *platform.Platform, tg Targets) *Injector {
 		tg.Cores = plat.Config().Cores
 	}
 	in := &Injector{plan: p, tg: tg}
+	if o := plat.Obs(); o != nil {
+		in.o = o
+		if in.tr = o.Tracer(); in.tr != nil {
+			in.faultTk = in.tr.Track("faults")
+		}
+	}
 	if len(p.Events) > 0 {
 		events := p.Events
 		plat.Engine().SpawnAt("fault-injector", events[0].At, func(sp *sim.Proc) {

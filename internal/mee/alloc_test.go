@@ -6,6 +6,7 @@ import (
 
 	"meecc/internal/dram"
 	"meecc/internal/itree"
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 )
 
@@ -35,6 +36,44 @@ func TestWarmReadDataAllocFree(t *testing.T) {
 
 	if allocs := testing.AllocsPerRun(200, read); allocs != 0 {
 		t.Fatalf("warm ReadData allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestWarmReadDataAllocFreeWithMetrics re-pins the warm-path property with
+// live instrumentation: counters increment and the latency histogram observes
+// on every read, and none of it may allocate. (The tracer is exercised by the
+// obs package's own alloc tests; attaching one here would also pass, but the
+// metrics registry is the part every -metrics run enables.)
+func TestWarmReadDataAllocFreeWithMetrics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 66))
+	mem := dram.New(dram.DefaultConfig())
+	geom, err := itree.NewGeometry(1<<30, 128<<20, 96<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(DefaultConfig(rng), geom, itree.NewCrypto([16]byte{7, 8, 9}), mem)
+	o := obs.NewObserver().WithTracer(1 << 10)
+	eng.Observe(o)
+	addr := geom.DataBase
+	var now sim.Cycles
+
+	read := func() {
+		now += 100000
+		if _, _, _, err := eng.ReadData(now, rng, addr); err != nil {
+			t.Fatalf("ReadData: %v", err)
+		}
+	}
+	read()
+	read()
+	if allocs := testing.AllocsPerRun(200, read); allocs != 0 {
+		t.Fatalf("instrumented warm ReadData allocated %.1f times per op, want 0", allocs)
+	}
+	snap := o.Snapshot()
+	if snap.Counters["mee.reads"] == 0 {
+		t.Error("mee.reads sample missing from snapshot")
+	}
+	if snap.Histograms["mee.read_latency"].Count == 0 {
+		t.Error("read-latency histogram never observed")
 	}
 }
 

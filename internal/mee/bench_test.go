@@ -2,10 +2,12 @@ package mee
 
 import (
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"meecc/internal/dram"
 	"meecc/internal/itree"
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 )
 
@@ -37,6 +39,38 @@ func BenchmarkReadVersionsHit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReadObserved is the warm read with a live observer attached: it
+// both measures the instrumentation overhead against BenchmarkReadVersionsHit
+// and reports the MEE cache hit rate as a custom metric. benchjson stores
+// meeHits/op alongside the standard units, so the hit rate rides through
+// ./ci.sh bench baselines like any other value.
+func BenchmarkReadObserved(b *testing.B) {
+	e, rng := benchEngine(b)
+	o := obs.NewObserver()
+	e.Observe(o)
+	addr := e.Geometry().DataBase
+	now := sim.Cycles(0)
+	if _, _, _, err := e.ReadData(now, rng, addr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 10000
+		if _, _, _, err := e.ReadData(now, rng, addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var hits uint64
+	for name, v := range o.Snapshot().Counters {
+		if strings.HasPrefix(name, "mee.hits.") {
+			hits += v
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "meeHits/op")
 }
 
 // BenchmarkReadColdWalk measures the full root walk (every level fetched

@@ -25,6 +25,7 @@ import (
 	"meecc/internal/cache"
 	"meecc/internal/dram"
 	"meecc/internal/itree"
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 )
 
@@ -166,6 +167,15 @@ type Engine struct {
 
 	port  sim.Resource
 	stats Stats
+
+	// Observability (nil when disabled): free-list churn counters, the
+	// requester-latency histogram, and the hit-level counter track. Stats
+	// fields are surfaced as deferred samples instead (see Observe).
+	cBufAlloc   *obs.Counter
+	cBufRecycle *obs.Counter
+	hReadLat    *obs.Histogram
+	tr          *obs.Tracer
+	nHitLevel   obs.NameID
 }
 
 // nodeBuf is the decoded content of a cached tree line.
@@ -183,8 +193,10 @@ func (e *Engine) newBuf() *nodeBuf {
 		nb := e.bufFree[n-1]
 		e.bufFree = e.bufFree[:n-1]
 		*nb = nodeBuf{}
+		e.cBufRecycle.Inc()
 		return nb
 	}
+	e.cBufAlloc.Inc()
 	return &nodeBuf{}
 }
 
@@ -213,6 +225,34 @@ func New(cfg Config, geom itree.Geometry, crypt *itree.Crypto, mem *dram.DRAM) *
 
 // Cache exposes the MEE cache for statistics and white-box tests.
 func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// Observe attaches an observer. The accumulated Stats (reads, writes,
+// per-level hits, writebacks, violations, stall cycles) become deferred
+// samples evaluated at snapshot time, so the walk hot path gains only the
+// nil-checked free-list counters and one histogram observation per access.
+// With a tracer attached, every data access also emits a sample on the
+// "mee.hit_level" counter track — the per-access signal Figure 5 histograms.
+// Safe to call with nil.
+func (e *Engine) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.Sample("mee.reads", obs.Semantic, func() uint64 { return e.stats.Reads })
+	o.Sample("mee.writes", obs.Semantic, func() uint64 { return e.stats.Writes })
+	o.Sample("mee.writebacks", obs.Semantic, func() uint64 { return e.stats.Writebacks })
+	o.Sample("mee.violations", obs.Semantic, func() uint64 { return e.stats.Violations })
+	o.Sample("mee.stall_cycles", obs.Semantic, func() uint64 { return uint64(e.stats.StallCyc) })
+	for h := HitVersions; h <= HitRoot; h++ {
+		h := h
+		o.Sample("mee.hits."+h.String(), obs.Semantic, func() uint64 { return e.stats.HitsAt[h] })
+	}
+	e.cBufAlloc = o.Counter("mee.nodebuf.alloc")
+	e.cBufRecycle = o.Counter("mee.nodebuf.recycled")
+	e.hReadLat = o.Histogram("mee.read_latency")
+	e.cache.Observe(o, "mee")
+	e.tr = o.Tracer()
+	e.nHitLevel = e.tr.Name("mee.hit_level")
+}
 
 // Geometry returns the integrity-tree geometry.
 func (e *Engine) Geometry() *itree.Geometry { return &e.geom }
@@ -325,6 +365,10 @@ func (e *Engine) ReadData(now sim.Cycles, rng *rand.Rand, addr dram.Addr) ([itre
 	stall := e.port.Acquire(now, e.portOccupancy())
 	e.stats.StallCyc += stall
 	e.stats.HitsAt[w.hit]++
+	e.hReadLat.Observe(int64(stall + w.lat))
+	if e.tr != nil {
+		e.tr.Count(e.nHitLevel, int64(now), int64(w.hit))
+	}
 	return plain, stall + w.lat, w.hit, nil
 }
 
@@ -375,5 +419,8 @@ func (e *Engine) WriteData(now sim.Cycles, rng *rand.Rand, addr dram.Addr, plain
 	stall := e.port.Acquire(now, e.portOccupancy())
 	e.stats.StallCyc += stall
 	e.stats.HitsAt[w.hit]++
+	if e.tr != nil {
+		e.tr.Count(e.nHitLevel, int64(now), int64(w.hit))
+	}
 	return stall + w.lat, w.hit, nil
 }

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 {
+		t.Error("nil histogram has observations")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry handed out instruments")
+	}
+	r.Sample("x", Semantic, func() uint64 { return 1 })
+	if r.Snapshot() != nil || r.SnapshotAll() != nil {
+		t.Error("nil registry produced a snapshot")
+	}
+	var o *Observer
+	if o.Counter("x") != nil || o.DiagnosticCounter("x") != nil ||
+		o.Histogram("x") != nil || o.Tracer() != nil ||
+		o.Snapshot() != nil || o.SnapshotAll() != nil {
+		t.Error("nil observer is not fully inert")
+	}
+	o.Sample("x", Semantic, func() uint64 { return 1 })
+	if o.WithTracer(16) != nil {
+		t.Error("WithTracer on nil observer returned non-nil")
+	}
+}
+
+func TestCounterIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("mee.reads")
+	b := r.Counter("mee.reads")
+	if a != b {
+		t.Fatal("same name produced distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("shared counter value %d, want 3", a.Value())
+	}
+}
+
+func TestSnapshotClassFiltering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sem").Add(5)
+	r.DiagnosticCounter("diag").Add(9)
+	r.Counter("zero") // untouched: must be omitted
+	r.Sample("sample.sem", Semantic, func() uint64 { return 11 })
+	r.Sample("sample.diag", Diagnostic, func() uint64 { return 13 })
+
+	s := r.Snapshot()
+	if s.Counters["sem"] != 5 || s.Counters["sample.sem"] != 11 {
+		t.Errorf("semantic snapshot %v", s.Counters)
+	}
+	for _, name := range []string{"diag", "sample.diag", "zero"} {
+		if _, ok := s.Counters[name]; ok {
+			t.Errorf("%s leaked into the semantic snapshot", name)
+		}
+	}
+	all := r.SnapshotAll()
+	if all.Counters["diag"] != 9 || all.Counters["sample.diag"] != 13 {
+		t.Errorf("full snapshot %v", all.Counters)
+	}
+}
+
+func TestSampleRefoldsOnReRegistration(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(10)
+	r.Sample("g", Semantic, func() uint64 { return v })
+	v = 25
+	// A second component takes over the name: the old fn's final value (25)
+	// folds into the baseline and the new fn accumulates on top.
+	w := uint64(0)
+	r.Sample("g", Semantic, func() uint64 { return w })
+	w = 5
+	if got := r.Snapshot().Counters["g"]; got != 30 {
+		t.Fatalf("refolded sample = %d, want 30", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, -5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 7 || s.Min != -5 || s.Max != 100 || s.Sum != 105 {
+		t.Fatalf("summary %+v", s)
+	}
+	want := map[int64]uint64{ // lo -> count
+		0:  2, // 0 and -5
+		1:  1, // 1
+		2:  2, // 2, 3
+		4:  1, // 4
+		64: 1, // 100
+	}
+	for _, b := range s.Buckets {
+		if want[b.Lo] != b.Count {
+			t.Errorf("bucket [%d,%d] count %d, want %d", b.Lo, b.Hi, b.Count, want[b.Lo])
+		}
+		delete(want, b.Lo)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing buckets %v", want)
+	}
+}
+
+func TestSnapshotEncodeCanonicalAndDecodes(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(uint64(len(name)))
+		}
+		r.Histogram("h").Observe(9)
+		return r.Snapshot().Encode()
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("registration order changed encoding:\n%s\n---\n%s", a, b)
+	}
+	dec, err := DecodeSnapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Counters["alpha"] != 5 || dec.Histograms["h"].Count != 1 {
+		t.Errorf("round trip lost data: %+v", dec)
+	}
+	if _, err := DecodeSnapshot([]byte(`{"schema_version": 999}`)); err == nil {
+		t.Error("wrong schema version accepted")
+	}
+	if _, err := DecodeSnapshot([]byte(`garbage`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	var nilSnap *Snapshot
+	if nilSnap.Encode() != nil {
+		t.Error("nil snapshot encoded to bytes")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(3)
+	h.Observe(2)
+	prev := r.Snapshot()
+	c.Add(4)
+	h.Observe(2)
+	h.Observe(100)
+	d := r.Snapshot().Diff(prev)
+	if d.Counters["c"] != 4 {
+		t.Errorf("counter delta %d, want 4", d.Counters["c"])
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 2 || dh.Sum != 102 {
+		t.Errorf("histogram delta %+v", dh)
+	}
+	var lo2, lo64 uint64
+	for _, b := range dh.Buckets {
+		switch b.Lo {
+		case 2:
+			lo2 = b.Count
+		case 64:
+			lo64 = b.Count
+		}
+	}
+	if lo2 != 1 || lo64 != 1 {
+		t.Errorf("delta buckets %+v", dh.Buckets)
+	}
+	// Diff against nil passes everything through.
+	full := r.Snapshot().Diff(nil)
+	if full.Counters["c"] != 7 {
+		t.Errorf("diff vs nil = %v", full.Counters)
+	}
+	// Unchanged counters are dropped.
+	same := r.Snapshot().Diff(r.Snapshot())
+	if len(same.Counters) != 0 || len(same.Histograms) != 0 {
+		t.Errorf("self-diff not empty: %+v", same)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("bits").Add(10)
+	b := NewRegistry()
+	b.Counter("bits").Add(20)
+	b.Histogram("lat").Observe(4)
+	s := NewSnapshot()
+	s.Merge("static.", a.Snapshot())
+	s.Merge("adaptive.", b.Snapshot())
+	if s.Counters["static.bits"] != 10 || s.Counters["adaptive.bits"] != 20 {
+		t.Errorf("merged counters %v", s.Counters)
+	}
+	if s.Histograms["adaptive.lat"].Count != 1 {
+		t.Errorf("merged histograms %v", s.Histograms)
+	}
+	s.Merge("x.", nil) // must not panic
+}
+
+func TestSnapshotRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.busy_cycles").Add(50)
+	r.Counter("sim.clock").Add(200)
+	r.Counter("mee.reads").Add(7)
+	r.Histogram("mee.read_latency").Observe(33)
+	var buf bytes.Buffer
+	r.Snapshot().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"mee.reads", "sim.utilization", "25.0%", "mee.read_latency", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	var empty bytes.Buffer
+	NewSnapshot().Render(&empty)
+	if !strings.Contains(empty.String(), "no metrics") {
+		t.Errorf("empty render = %q", empty.String())
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SnapshotSchemaVersion identifies the snapshot JSON layout. Bump on any
+// incompatible change; golden-schema tests pin the current version.
+const SnapshotSchemaVersion = 1
+
+// HistBucket is one populated power-of-two bucket: values in [Lo, Hi].
+type HistBucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the serialized state of one histogram. Only populated
+// buckets are listed, in ascending order.
+type HistogramSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time capture of a registry. Encoding is canonical:
+// encoding/json sorts map keys, so two snapshots with equal contents encode
+// to identical bytes regardless of registration order, worker count, or
+// scheduler. Zero-valued instruments are omitted, which keeps artifacts
+// from runs that never touched a subsystem small and stable.
+type Snapshot struct {
+	SchemaVersion int                          `json:"schema_version"`
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot at the current schema version.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Counters:      make(map[string]uint64),
+		Histograms:    make(map[string]HistogramSnapshot),
+	}
+}
+
+// Encode renders the snapshot as canonical indented JSON with a trailing
+// newline. Returns nil for a nil snapshot.
+func (s *Snapshot) Encode() []byte {
+	if s == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Snapshot contains only maps of scalars; Marshal cannot fail.
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// DecodeSnapshot parses a snapshot produced by Encode and validates its
+// schema version.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		return nil, fmt.Errorf("snapshot schema version %d, want %d", s.SchemaVersion, SnapshotSchemaVersion)
+	}
+	return &s, nil
+}
+
+// Diff returns s minus prev as a new snapshot: counter-wise subtraction,
+// histogram count/sum/bucket subtraction (Min/Max are taken from s — a
+// histogram cannot un-observe). Names absent from prev pass through; names
+// whose delta is zero are dropped. prev may be nil.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	d := NewSnapshot()
+	for name, v := range s.Counters {
+		var p uint64
+		if prev != nil {
+			p = prev.Counters[name]
+		}
+		if v > p {
+			d.Counters[name] = v - p
+		}
+	}
+	for name, h := range s.Histograms {
+		var p HistogramSnapshot
+		if prev != nil {
+			p = prev.Histograms[name]
+		}
+		if h.Count <= p.Count {
+			continue
+		}
+		prevAt := make(map[int64]uint64, len(p.Buckets))
+		for _, b := range p.Buckets {
+			prevAt[b.Lo] = b.Count
+		}
+		dh := HistogramSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum, Min: h.Min, Max: h.Max}
+		for _, b := range h.Buckets {
+			if n := b.Count - prevAt[b.Lo]; n > 0 {
+				dh.Buckets = append(dh.Buckets, HistBucket{Lo: b.Lo, Hi: b.Hi, Count: n})
+			}
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// Merge copies every instrument of other into s under prefix+name,
+// overwriting on collision. Used to combine per-arm snapshots (chaos static
+// vs. adaptive) into one artifact block. No-op when s or other is nil.
+func (s *Snapshot) Merge(prefix string, other *Snapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		s.Counters[prefix+name] = v
+	}
+	for name, h := range other.Histograms {
+		s.Histograms[prefix+name] = h
+	}
+}
+
+// Render writes a human-readable text report: counters sorted by name, then
+// histograms with count/mean/min/max and a bucket breakdown. When the sim
+// utilization inputs are present (sim.busy_cycles and sim.clock) a derived
+// utilization line is included.
+func (s *Snapshot) Render(w io.Writer) {
+	if s == nil {
+		fmt.Fprintln(w, "(no metrics collected)")
+		return
+	}
+	if len(s.Counters) == 0 && len(s.Histograms) == 0 {
+		fmt.Fprintln(w, "(no metrics collected)")
+		return
+	}
+	names := make([]string, 0, len(s.Counters))
+	width := 0
+	for name := range s.Counters {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-*s %12d\n", width, name, s.Counters[name])
+	}
+	if busy, ok := s.Counters["sim.busy_cycles"]; ok {
+		if clock := s.Counters["sim.clock"]; clock > 0 {
+			fmt.Fprintf(w, "%-*s %11.1f%%\n", width, "sim.utilization",
+				100*float64(busy)/float64(clock))
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		mean := float64(h.Sum) / float64(h.Count)
+		fmt.Fprintf(w, "\n%s: count=%d mean=%.1f min=%d max=%d\n", name, h.Count, mean, h.Min, h.Max)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "  [%8d, %8d] %10d\n", b.Lo, b.Hi, b.Count)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"meecc/internal/enclave"
 	"meecc/internal/itree"
 	"meecc/internal/mee"
+	"meecc/internal/obs"
 	"meecc/internal/sim"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	TimerReadCost   float64
 	EnterExitCost   float64
 	RdtscCost       float64
+
+	// Obs, when non-nil, receives metrics and (optionally) timeline events
+	// from every component of the booted machine. Nil — the default — keeps
+	// all hot paths on their zero-instrumentation nil-check fast path.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the paper-testbed machine with the given seed.
@@ -129,8 +135,18 @@ func New(cfg Config) *Platform {
 		prmBase: prmBase,
 		rng:     rng,
 	}
+	if o := cfg.Obs; o != nil {
+		o.Tracer().SetCyclesPerMicrosecond(cfg.FreqGHz * 1000)
+		eng.Observe(o)
+		p.mee.Observe(o)
+		p.caches.Observe(o)
+	}
 	return p
 }
+
+// Obs returns the observer the platform was booted with (nil when
+// observability is disabled).
+func (p *Platform) Obs() *obs.Observer { return p.cfg.Obs }
 
 // Engine exposes the simulation engine (Run/Close live there).
 func (p *Platform) Engine() *sim.Engine { return p.eng }

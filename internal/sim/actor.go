@@ -3,6 +3,8 @@ package sim
 import (
 	"math/rand/v2"
 	"runtime/debug"
+
+	"meecc/internal/obs"
 )
 
 // Actor is one simulated thread of execution with its own cycle clock.
@@ -18,6 +20,7 @@ type Actor struct {
 	engine     *Engine
 	proc       *Proc
 	heapIdx    int // position in the engine's scheduling heap; -1 if detached
+	track      obs.TrackID
 
 	// Run-ahead state, written by the engine before each resume and
 	// consumed by Proc.yield (the resume channel orders the accesses):
@@ -95,6 +98,9 @@ func (p *Proc) Advance(n Cycles) {
 	if n < 1 {
 		n = 1
 	}
+	e := p.actor.engine
+	e.cOps.Inc()
+	e.cBusy.Add(uint64(n))
 	p.actor.clock += n
 	p.yield()
 }

@@ -6,6 +6,8 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync/atomic"
+
+	"meecc/internal/obs"
 )
 
 // Cycles counts simulated CPU clock cycles. It is signed so that durations
@@ -64,6 +66,19 @@ type Engine struct {
 	killed  bool
 	closed  bool
 	linear  bool // reference scheduler: linear scan, single-step resumes
+
+	// Observability (all nil/zero when disabled; see Observe). cOps and
+	// cBusy are schedule-invariant; cResumes and cTrunc count scheduler
+	// mechanics and are registered as diagnostic.
+	cOps     *obs.Counter
+	cBusy    *obs.Counter
+	cSpawns  *obs.Counter
+	cResumes *obs.Counter
+	cTrunc   *obs.Counter
+	tracer   *obs.Tracer
+	nBatch   obs.NameID
+	nSpawn   obs.NameID
+	lastNow  Cycles // clock of the last committed operation, for sampling
 }
 
 // NewEngine returns an engine whose random stream is derived from seed.
@@ -78,6 +93,30 @@ func NewEngine(seed uint64) *Engine {
 // Rand exposes the engine's seeded random source. Because actors execute in
 // a deterministic order, draws from this source are reproducible as well.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Observe attaches an observer to the engine. Operation and busy-cycle
+// counts are schedule-invariant; resume and horizon-truncation counts
+// describe how the scheduler batched the same schedule and are diagnostic.
+// When the observer carries a tracer, every resume batch is recorded as a
+// slice on the owning actor's track. Safe to call with nil.
+func (e *Engine) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	e.cOps = o.Counter("sim.ops")
+	e.cBusy = o.Counter("sim.busy_cycles")
+	e.cSpawns = o.Counter("sim.spawns")
+	e.cResumes = o.DiagnosticCounter("sim.resumes")
+	e.cTrunc = o.DiagnosticCounter("sim.horizon_truncations")
+	o.Sample("sim.clock", obs.Semantic, func() uint64 { return uint64(e.lastNow) })
+	o.Sample("sim.actors", obs.Semantic, func() uint64 { return uint64(len(e.actors)) })
+	e.tracer = o.Tracer()
+	e.nBatch = e.tracer.Name("batch")
+	e.nSpawn = e.tracer.Name("spawn")
+	for _, a := range e.actors {
+		a.track = e.tracer.Track(a.name)
+	}
+}
 
 // Spawn registers a new actor starting at cycle 0 and returns it. The body
 // runs in its own goroutine but only between Proc yield points chosen by the
@@ -106,11 +145,17 @@ func (e *Engine) SpawnAt(name string, start Cycles, body func(*Proc)) *Actor {
 	a.proc = &Proc{actor: a}
 	e.actors = append(e.actors, a)
 	e.heapPush(a)
+	e.cSpawns.Inc()
+	if e.tracer != nil {
+		a.track = e.tracer.Track(name)
+		e.tracer.Instant(a.track, e.nSpawn, int64(a.clock), int64(a.id))
+	}
 	// Spawn from inside a running actor body: the new actor may be due
 	// before the runner's next operation, so shrink the runner's run-ahead
 	// horizon to hand control back in time.
 	if r := e.running; r != nil && schedBefore(a.clock, a.id, r.horizonClock, r.horizonID) {
 		r.horizonClock, r.horizonID = a.clock, a.id
+		e.cTrunc.Inc()
 	}
 	go a.run(body)
 	return a
@@ -175,9 +220,15 @@ func (e *Engine) Run(limit Cycles) Cycles {
 		a.runLimit = limit
 		a.lastStart = a.clock
 		e.running = a
+		e.cResumes.Inc()
+		batchStart := a.clock
 		a.step()
 		e.running = nil
+		if e.tracer != nil {
+			e.tracer.Slice(a.track, e.nBatch, int64(batchStart), int64(a.clock-batchStart))
+		}
 		now = a.lastStart
+		e.lastNow = now
 		if a.done {
 			e.heapRemove(a)
 		} else {
