@@ -26,6 +26,33 @@ if [ "${1:-}" = "obs" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "bench-compare" ]; then
+    # Soft performance gate: re-run the headline channel benchmarks (fig6b
+    # single transmission, fig7 window sweep) and diff them against the
+    # committed baseline. Smoke timings are single-shot and noisy, so a
+    # regression past the threshold prints a loud warning instead of
+    # failing the build; run `./ci.sh bench` for a statistically sound
+    # baseline before acting on one.
+    base="${BENCH_BASELINE:-results/bench.json}"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    echo "== bench-compare: fig6b/fig7 smoke vs $base =="
+    go test -run '^$' -bench 'Fig6bCovertChannel|Fig7WindowSweep' -benchmem \
+        -benchtime 1x -count "${BENCH_COUNT:-3}" . > "$tmp/new.txt"
+    go run ./cmd/benchjson -o "$tmp/new.json" < "$tmp/new.txt"
+    if go run ./cmd/benchjson diff -subset -threshold "${BENCH_THRESHOLD:-25}" "$base" "$tmp/new.json"; then
+        echo "== bench-compare: within +${BENCH_THRESHOLD:-25}% of baseline =="
+    else
+        status=$?
+        if [ "$status" -eq 1 ]; then
+            echo "== bench-compare: WARNING: ns/op regressed past threshold (soft gate; see above) ==" >&2
+        else
+            echo "== bench-compare: WARNING: diff failed (status $status) ==" >&2
+        fi
+    fi
+    exit 0
+fi
+
 if [ "${1:-}" = "bench" ]; then
     count="${BENCH_COUNT:-5}"
     time="${BENCH_TIME:-1s}"
@@ -81,5 +108,8 @@ echo "== smoke: traced fig6b =="
 go run ./cmd/figures -fig 6b -trace "$tmp/fig6b.trace.json" > /dev/null
 test -s "$tmp/fig6b.trace.json" || { echo "missing fig6b trace" >&2; exit 1; }
 go run ./cmd/meecc inspect "$tmp/fig6b.trace.json"
+
+echo "== bench-compare (soft gate) =="
+sh "$0" bench-compare
 
 echo "== ci passed =="

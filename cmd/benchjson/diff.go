@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"text/tabwriter"
+)
+
+// runDiff implements `benchjson diff [-threshold pct] [-metric unit] old new`:
+// a benchstat-style comparison of two bench.json baselines. Repeated counts
+// of one benchmark are averaged; the delta column is (new-old)/old. The exit
+// status is the gate: 0 when every benchmark stays within the regression
+// threshold on the chosen metric, 1 past it, 2 on usage or file errors.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10,
+		"maximum allowed regression on the gate metric, in percent (negative disables the gate)")
+	metric := fs.String("metric", "ns/op", "unit the regression gate applies to")
+	subset := fs.Bool("subset", false,
+		"treat old as a superset baseline: only report benchmarks present in new")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-threshold pct] [-metric unit] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldF, err := loadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newF, err := loadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	oldM, names := groupMeans(oldF, *metric)
+	newM, newNames := groupMeans(newF, *metric)
+	for _, n := range newNames {
+		if _, ok := oldM[n]; !ok {
+			names = append(names, n)
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told %s\tnew %s\tdelta\n", *metric, *metric)
+	var regressions []string
+	var ratios []float64
+	for _, name := range names {
+		o, haveOld := oldM[name]
+		n, haveNew := newM[name]
+		switch {
+		case !haveNew:
+			if *subset {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t(gone)\t\n", name, formatValue(o, *metric))
+		case !haveOld:
+			fmt.Fprintf(w, "%s\t(new)\t%s\t\n", name, formatValue(n, *metric))
+		default:
+			delta := math.NaN()
+			if o != 0 {
+				delta = (n - o) / o * 100
+				ratios = append(ratios, n/o)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%+.1f%%\n",
+				name, formatValue(o, *metric), formatValue(n, *metric), delta)
+			if *threshold >= 0 && o != 0 && delta > *threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %s -> %s (%+.1f%% > +%g%%)",
+						name, *metric, formatValue(o, *metric), formatValue(n, *metric), delta, *threshold))
+			}
+		}
+	}
+	if len(ratios) > 0 {
+		logSum := 0.0
+		for _, r := range ratios {
+			logSum += math.Log(r)
+		}
+		fmt.Fprintf(w, "geomean\t\t\t%+.1f%%\n", (math.Exp(logSum/float64(len(ratios)))-1)*100)
+	}
+	w.Flush()
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchjson: %d benchmark(s) regressed past the %g%% threshold:\n",
+			len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		return 1
+	}
+	return 0
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks (is this a benchjson artifact?)", path)
+	}
+	return &f, nil
+}
+
+// groupMeans averages the metric over repeated counts of each benchmark,
+// keyed like benchstat: the Benchmark prefix and the -GOMAXPROCS suffix are
+// stripped. The package always qualifies the name, so a single-package run
+// (the bench-compare smoke) lines up against a whole-tree baseline.
+func groupMeans(f *File, metric string) (map[string]float64, []string) {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	var order []string
+	for _, b := range f.Benchmarks {
+		v, ok := b.Values[metric]
+		if !ok {
+			continue
+		}
+		name := displayName(b.Name)
+		if b.Pkg != "" {
+			name = b.Pkg + "." + name
+		}
+		if counts[name] == 0 {
+			order = append(order, name)
+		}
+		sums[name] += v
+		counts[name]++
+	}
+	means := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		means[name] = sum / float64(counts[name])
+	}
+	return means, order
+}
+
+func displayName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if suffix := name[i+1:]; suffix != "" && strings.Trim(suffix, "0123456789") == "" {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// formatValue renders a metric value; ns/op gets human time units so the
+// sweep benchmarks (seconds) and hot-path benchmarks (nanoseconds) both
+// read naturally.
+func formatValue(v float64, metric string) string {
+	if metric != "ns/op" {
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			return fmt.Sprintf("%.0f", v)
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.1fns", v)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBenchFile(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(&File{SchemaVersion: 1, Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Pkg: "meecc", N: 1, Values: map[string]float64{"ns/op": ns}}
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchFile(t, dir, "old.json", []Benchmark{
+		bench("BenchmarkStable", 100), bench("BenchmarkStable", 110),
+		bench("BenchmarkHot", 1000),
+	})
+	improved := writeBenchFile(t, dir, "improved.json", []Benchmark{
+		bench("BenchmarkStable", 104),
+		bench("BenchmarkHot", 500),
+	})
+	regressed := writeBenchFile(t, dir, "regressed.json", []Benchmark{
+		bench("BenchmarkStable", 105),
+		bench("BenchmarkHot", 1500),
+	})
+
+	if code := runDiff([]string{"-threshold", "10", old, improved}); code != 0 {
+		t.Errorf("improvement exited %d, want 0", code)
+	}
+	if code := runDiff([]string{"-threshold", "10", old, regressed}); code != 1 {
+		t.Errorf("50%% regression exited %d, want 1", code)
+	}
+	// A disabled gate never fails on timings.
+	if code := runDiff([]string{"-threshold", "-1", old, regressed}); code != 0 {
+		t.Errorf("disabled gate exited %d, want 0", code)
+	}
+	// Usage and unreadable files are reported distinctly from regressions.
+	if code := runDiff([]string{old}); code != 2 {
+		t.Errorf("missing operand exited %d, want 2", code)
+	}
+	if code := runDiff([]string{old, filepath.Join(dir, "absent.json")}); code != 2 {
+		t.Errorf("missing file exited %d, want 2", code)
+	}
+}
+
+func TestDiffToleratesAddedAndRemovedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchFile(t, dir, "old.json", []Benchmark{bench("BenchmarkGone", 10)})
+	new_ := writeBenchFile(t, dir, "new.json", []Benchmark{bench("BenchmarkAdded", 99)})
+	if code := runDiff([]string{"-threshold", "0", old, new_}); code != 0 {
+		t.Errorf("disjoint benchmark sets exited %d, want 0", code)
+	}
+}
+
+func TestGroupMeansAveragesRepeatsAndStripsSuffix(t *testing.T) {
+	f := &File{Benchmarks: []Benchmark{
+		bench("BenchmarkX-8", 100),
+		bench("BenchmarkX-8", 200),
+	}}
+	means, order := groupMeans(f, "ns/op")
+	if len(order) != 1 || order[0] != "meecc.X" {
+		t.Fatalf("order = %v, want [meecc.X]", order)
+	}
+	if means["meecc.X"] != 150 {
+		t.Errorf("mean = %v, want 150", means["meecc.X"])
+	}
+}
+
+// TestDiffSubsetMode pins the bench-compare contract: a smoke run covering
+// two benchmarks diffs cleanly against a whole-tree baseline without
+// flagging every uncovered benchmark as gone.
+func TestDiffSubsetMode(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchFile(t, dir, "old.json", []Benchmark{
+		bench("BenchmarkA", 100), bench("BenchmarkB", 100), bench("BenchmarkC", 100),
+	})
+	new_ := writeBenchFile(t, dir, "new.json", []Benchmark{bench("BenchmarkA", 90)})
+	if code := runDiff([]string{"-subset", "-threshold", "10", old, new_}); code != 0 {
+		t.Errorf("subset diff exited %d, want 0", code)
+	}
+	regressed := writeBenchFile(t, dir, "reg.json", []Benchmark{bench("BenchmarkA", 200)})
+	if code := runDiff([]string{"-subset", "-threshold", "10", old, regressed}); code != 1 {
+		t.Errorf("subset regression exited %d, want 1", code)
+	}
+}
+
+func TestFormatValueHumanizesTime(t *testing.T) {
+	for v, want := range map[float64]string{
+		1.355e9: "1.355s",
+		2.5e6:   "2.50ms",
+		1200:    "1.20µs",
+		250:     "250.0ns",
+	} {
+		if got := formatValue(v, "ns/op"); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(40834, "allocs/op"); got != "40834" {
+		t.Errorf("allocs formatting = %q", got)
+	}
+}

@@ -8,6 +8,11 @@
 //	benchjson -print results/bench.json > old.txt
 //	go test -run '^$' -bench . -benchmem -count 5 ./... > new.txt
 //	benchstat old.txt new.txt
+//
+// The `diff` subcommand compares two stored baselines directly and gates on
+// regressions (see `./ci.sh bench-compare`):
+//
+//	benchjson diff -threshold 10 results/bench.json /tmp/new.json
 package main
 
 import (
@@ -44,6 +49,9 @@ type File struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	out := flag.String("o", "", "write JSON to this file (default stdout)")
 	print := flag.String("print", "", "re-emit the raw benchmark text stored in a bench.json")
 	flag.Parse()

@@ -692,12 +692,17 @@ func runInspect() error {
 	// has counters/histograms; a trace has traceEvents. Try in that order so
 	// schema-version errors surface from the matching decoder.
 	var kind struct {
-		Study       json.RawMessage `json:"study"`
-		Cells       json.RawMessage `json:"cells"`
-		TraceEvents json.RawMessage `json:"traceEvents"`
+		Study         json.RawMessage `json:"study"`
+		Cells         json.RawMessage `json:"cells"`
+		TraceEvents   json.RawMessage `json:"traceEvents"`
+		SchemaVersion json.RawMessage `json:"schema_version"`
+		Counters      json.RawMessage `json:"counters"`
 	}
 	if err := json.Unmarshal(data, &kind); err != nil {
-		return fmt.Errorf("inspect: %s is not JSON: %v", args[0], err)
+		if !json.Valid(data) {
+			return fmt.Errorf("inspect: %s is not JSON: %v", args[0], err)
+		}
+		return inspectSchemaError(args[0], data)
 	}
 	switch {
 	case kind.TraceEvents != nil:
@@ -716,7 +721,7 @@ func runInspect() error {
 		}
 		return inspectArtifact(args[0], art)
 
-	default:
+	case kind.SchemaVersion != nil || kind.Counters != nil:
 		snap, err := obs.DecodeSnapshot(data)
 		if err != nil {
 			return fmt.Errorf("inspect: %s: %v", args[0], err)
@@ -724,7 +729,37 @@ func runInspect() error {
 		fmt.Printf("%s: metrics snapshot (schema v%d)\n\n", args[0], snap.SchemaVersion)
 		snap.Render(os.Stdout)
 		return nil
+
+	default:
+		// Valid JSON, but none of the discriminating fields: say what this
+		// command can render instead of surfacing a decoder's unmarshal
+		// error about a schema the file never claimed to follow.
+		return inspectSchemaError(args[0], data)
 	}
+}
+
+// inspectSchemaError explains, with the offending path and the top-level
+// keys actually found, which schemas `meecc inspect` accepts.
+func inspectSchemaError(path string, data []byte) error {
+	found := "not a JSON object"
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err == nil {
+		if len(top) == 0 {
+			found = "an empty JSON object"
+		} else {
+			keys := make([]string, 0, len(top))
+			for k := range top {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			found = "top-level keys: " + strings.Join(keys, ", ")
+		}
+	}
+	return fmt.Errorf(`inspect: %s does not match any schema this command renders (%s)
+expected one of:
+  experiment artifact    discriminators "study" + "cells"             (from meecc batch / chaos / sweep)
+  metrics snapshot       discriminators "schema_version" + "counters" (from -metricsout or -metrics)
+  Chrome trace-event     discriminator  "traceEvents"                 (from -trace)`, path, found)
 }
 
 // inspectArtifact summarizes a batch/chaos artifact: the grid shape, then —

@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"meecc/internal/obs"
 )
@@ -151,26 +152,43 @@ func (c *Cache) MaxSetEvictions() (set int, count uint64) {
 // Lookup probes set for tag. On a hit it updates replacement state and
 // returns true. On a miss it returns false and does not modify the cache.
 func (c *Cache) Lookup(set int, tag Tag) bool {
+	_, hit := c.LookupWay(set, tag)
+	return hit
+}
+
+// LookupWay is Lookup returning the resident way on a hit, so callers that
+// keep per-line side data in dense [set][way] arrays (the MEE node buffers,
+// the cpucache plaintext buffers) can index it without a map. way is -1 on a
+// miss.
+func (c *Cache) LookupWay(set int, tag Tag) (way int, hit bool) {
 	ws := c.lines[set]
 	for w := range ws {
 		if ws[w].Valid && ws[w].Tag == tag {
 			c.state[set].Touch(w)
 			c.stats.Hits++
-			return true
+			return w, true
 		}
 	}
 	c.stats.Misses++
-	return false
+	return -1, false
 }
 
 // Contains probes set for tag without updating replacement state or stats.
 func (c *Cache) Contains(set int, tag Tag) bool {
-	for _, l := range c.lines[set] {
-		if l.Valid && l.Tag == tag {
-			return true
+	_, ok := c.WayOf(set, tag)
+	return ok
+}
+
+// WayOf returns the way holding tag without updating replacement state or
+// stats (Contains with the way exposed). way is -1 when absent.
+func (c *Cache) WayOf(set int, tag Tag) (way int, ok bool) {
+	ws := c.lines[set]
+	for w := range ws {
+		if ws[w].Valid && ws[w].Tag == tag {
+			return w, true
 		}
 	}
-	return false
+	return -1, false
 }
 
 // MarkDirty sets the dirty bit of a resident line. It reports whether the
@@ -191,13 +209,20 @@ func (c *Cache) MarkDirty(set int, tag Tag) bool {
 // is set from dirty. Inserting a tag that is already resident just touches
 // it (and ORs in the dirty bit).
 func (c *Cache) Insert(set int, tag Tag, dirty bool) (evicted Line) {
+	_, evicted = c.InsertWay(set, tag, dirty)
+	return evicted
+}
+
+// InsertWay is Insert returning the way the line landed in, so callers with
+// dense [set][way] side data can place the line's payload without a map.
+func (c *Cache) InsertWay(set int, tag Tag, dirty bool) (way int, evicted Line) {
 	ws := c.lines[set]
 	// Already present: refresh.
 	for w := range ws {
 		if ws[w].Valid && ws[w].Tag == tag {
 			ws[w].Dirty = ws[w].Dirty || dirty
 			c.state[set].Touch(w)
-			return Line{}
+			return w, Line{}
 		}
 	}
 	// Empty way available.
@@ -206,7 +231,7 @@ func (c *Cache) Insert(set int, tag Tag, dirty bool) (evicted Line) {
 			ws[w] = Line{Tag: tag, Valid: true, Dirty: dirty}
 			c.state[set].Fill(w)
 			c.stats.Fills++
-			return Line{}
+			return w, Line{}
 		}
 	}
 	// Evict a victim.
@@ -223,13 +248,20 @@ func (c *Cache) Insert(set int, tag Tag, dirty bool) (evicted Line) {
 	ws[w] = Line{Tag: tag, Valid: true, Dirty: dirty}
 	c.state[set].Fill(w)
 	c.stats.Fills++
-	return evicted
+	return w, evicted
 }
 
 // Invalidate removes tag from set (clflush semantics). It returns the line
 // that was removed; Valid=false means the tag was not resident. Dirty
 // removals count as writebacks.
 func (c *Cache) Invalidate(set int, tag Tag) Line {
+	_, l := c.InvalidateWay(set, tag)
+	return l
+}
+
+// InvalidateWay is Invalidate returning the way the line was removed from
+// (-1 when the tag was not resident).
+func (c *Cache) InvalidateWay(set int, tag Tag) (way int, removed Line) {
 	ws := c.lines[set]
 	for w := range ws {
 		if ws[w].Valid && ws[w].Tag == tag {
@@ -240,10 +272,10 @@ func (c *Cache) Invalidate(set int, tag Tag) Line {
 			if l.Dirty {
 				c.stats.WritebacksOut++
 			}
-			return l
+			return w, l
 		}
 	}
-	return Line{}
+	return -1, Line{}
 }
 
 // FlushAll invalidates every line, returning the dirty lines that would be
@@ -265,6 +297,43 @@ func (c *Cache) FlushAll() []Line {
 		}
 	}
 	return dirty
+}
+
+// Clone returns an independent deep copy of the cache — lines, replacement
+// state, statistics, and per-set eviction counters — for platform forking.
+// rng rebinds randomized policies (random, nru) to the fork's engine stream;
+// it may be nil for deterministic policies (the clone then shares the
+// original's random source, which forking never does).
+func (c *Cache) Clone(rng *rand.Rand) *Cache {
+	policy := c.policy
+	if rng != nil {
+		// Rebind rng-bearing policies so future set states draw from the
+		// fork's stream. PolicyByName cannot fail here: c.policy.Name() is a
+		// registered name and rng is non-nil.
+		p, err := PolicyByName(c.policy.Name(), rng)
+		if err != nil {
+			panic(fmt.Sprintf("cache %s: cloning policy: %v", c.name, err))
+		}
+		policy = p
+	}
+	n := &Cache{
+		name:    c.name,
+		sets:    c.sets,
+		ways:    c.ways,
+		lines:   make([][]Line, c.sets),
+		state:   make([]SetState, c.sets),
+		policy:  policy,
+		stats:   c.stats,
+		evBySet: make([]uint64, c.sets),
+	}
+	flat := make([]Line, c.sets*c.ways) // one backing array keeps the copy dense
+	for s := range c.lines {
+		n.lines[s] = flat[s*c.ways : (s+1)*c.ways : (s+1)*c.ways]
+		copy(n.lines[s], c.lines[s])
+		n.state[s] = c.state[s].Clone(rng)
+	}
+	copy(n.evBySet, c.evBySet)
+	return n
 }
 
 // SetContents returns a copy of the lines in a set, for tests and tools.

@@ -24,6 +24,10 @@ type SetState interface {
 	Victim() int
 	// Invalidate clears state for way after the line is removed.
 	Invalidate(way int)
+	// Clone returns an independent deep copy for platform forking. Policies
+	// that draw randomness (random, nru) bind the copy to rng so the fork
+	// consumes its own engine's stream; deterministic policies ignore it.
+	Clone(rng *rand.Rand) SetState
 }
 
 // ---------------------------------------------------------------------------
@@ -56,6 +60,11 @@ func (s *lruState) Victim() int {
 	return best
 }
 func (s *lruState) Invalidate(way int) { s.stamp[way] = 0 }
+func (s *lruState) Clone(*rand.Rand) SetState {
+	c := &lruState{stamp: make([]uint64, len(s.stamp)), tick: s.tick}
+	copy(c.stamp, s.stamp)
+	return c
+}
 
 // ---------------------------------------------------------------------------
 // FIFO
@@ -88,6 +97,11 @@ func (s *fifoState) Victim() int {
 	return best
 }
 func (s *fifoState) Invalidate(way int) { s.stamp[way] = 0 }
+func (s *fifoState) Clone(*rand.Rand) SetState {
+	c := &fifoState{stamp: make([]uint64, len(s.stamp)), tick: s.tick}
+	copy(c.stamp, s.stamp)
+	return c
+}
 
 // ---------------------------------------------------------------------------
 // Tree-PLRU ("approximate LRU", the default assumption for the MEE cache —
@@ -156,6 +170,11 @@ func (s *treePLRUState) Victim() int {
 }
 
 func (s *treePLRUState) Invalidate(int) {}
+func (s *treePLRUState) Clone(*rand.Rand) SetState {
+	c := &treePLRUState{ways: s.ways, bits: make([]bool, len(s.bits))}
+	copy(c.bits, s.bits)
+	return c
+}
 
 // ---------------------------------------------------------------------------
 // Bit-PLRU (MRU bits)
@@ -196,6 +215,11 @@ func (s *bitPLRUState) Victim() int {
 	return 0
 }
 func (s *bitPLRUState) Invalidate(way int) { s.mru[way] = false }
+func (s *bitPLRUState) Clone(*rand.Rand) SetState {
+	c := &bitPLRUState{mru: make([]bool, len(s.mru))}
+	copy(c.mru, s.mru)
+	return c
+}
 
 // ---------------------------------------------------------------------------
 // Random
@@ -221,6 +245,12 @@ func (s *randomState) Touch(int)      {}
 func (s *randomState) Fill(int)       {}
 func (s *randomState) Victim() int    { return s.rng.IntN(s.ways) }
 func (s *randomState) Invalidate(int) {}
+func (s *randomState) Clone(rng *rand.Rand) SetState {
+	if rng == nil {
+		rng = s.rng // no rebind requested: keep drawing from the original
+	}
+	return &randomState{ways: s.ways, rng: rng}
+}
 
 // PolicyByName constructs a policy from its name; random and nru need rng
 // (may be nil for the others). Recognized: lru, fifo, tree-plru, bit-plru,

@@ -52,6 +52,14 @@ func (s *nruState) Victim() int {
 	return candidates[s.rng.IntN(len(candidates))]
 }
 func (s *nruState) Invalidate(way int) { s.ref[way] = false }
+func (s *nruState) Clone(rng *rand.Rand) SetState {
+	if rng == nil {
+		rng = s.rng
+	}
+	c := &nruState{ref: make([]bool, len(s.ref)), rng: rng}
+	copy(c.ref, s.ref)
+	return c
+}
 
 // ---------------------------------------------------------------------------
 // SRRIP (static re-reference interval prediction, Jaleel et al. ISCA 2010):
@@ -92,6 +100,11 @@ func (s *srripState) Victim() int {
 	}
 }
 func (s *srripState) Invalidate(way int) { s.rrpv[way] = srripMax }
+func (s *srripState) Clone(*rand.Rand) SetState {
+	c := &srripState{rrpv: make([]uint8, len(s.rrpv))}
+	copy(c.rrpv, s.rrpv)
+	return c
+}
 
 // extendedPolicyByName resolves the additional policies; see PolicyByName.
 func extendedPolicyByName(name string, rng *rand.Rand) (Policy, error) {

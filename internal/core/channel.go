@@ -168,236 +168,254 @@ const (
 	spyCandidates    = 24
 )
 
-// RunChannel executes one full covert-channel session: threshold
-// calibration on both sides, trojan eviction-set construction (Algorithm 1),
-// spy monitor-address discovery, then the Algorithm 2 transmission of
-// cfg.Bits. It returns the decoded sequence and channel statistics.
-func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
+// channelSession carries the state shared between the warm phase
+// (calibration, Algorithm 1 eviction-set construction, monitor discovery)
+// and the transmit phase (Algorithm 2) of one covert-channel run.
+// RunChannel drives both phases back to back in one pair of actors on a
+// fresh platform; WarmChannel runs only the warm phase and snapshots the
+// platform so many transmissions can fork from the same warm state.
+type channelSession struct {
+	cfg     ChannelConfig // defaults applied; Bits expanded by repetition
+	logical []byte        // pre-expansion payload
+	rep     int
+
+	// Agreed schedule (both sides know these offsets out of band). The
+	// warm phase ends strictly before t0 = tSearchEnd regardless of Window
+	// or payload, which is what makes warm state shareable across them.
+	tCalEnd, tSetupEnd, t0, tEnd sim.Cycles
+
+	trojanProc, spyProc   *platform.Process
+	trojanCands, spyCands []enclave.VAddr
+
+	// Live working sets, filled in by the actors once discovered; fault
+	// injection reads them (engine-serialized) to aim paging events at the
+	// pages that actually carry the channel.
+	liveEvictionSet, liveMonitor []enclave.VAddr
+
+	// Warm products, consumed by the transmit phase.
+	spyThreshold sim.Cycles
+	evSet        []enclave.VAddr
+	monitor      enclave.VAddr
+
+	res               *ChannelResult
+	trojanErr, spyErr error
+}
+
+// prepareChannel validates cfg, applies defaults, expands repetition
+// coding, and computes the session schedule.
+func prepareChannel(cfg ChannelConfig) (*channelSession, error) {
 	cfg.applyDefaults()
 	for _, b := range cfg.Bits {
 		if b > 1 {
 			return nil, fmt.Errorf("core: bits must be 0/1, got %d", b)
 		}
 	}
-	logical := cfg.Bits
-	rep := cfg.Repetition
-	if rep < 1 {
-		rep = 1
+	s := &channelSession{cfg: cfg, logical: cfg.Bits, rep: cfg.Repetition}
+	if s.rep < 1 {
+		s.rep = 1
 	}
-	if rep > 1 {
-		expanded := make([]byte, 0, len(logical)*rep)
-		for _, b := range logical {
-			for r := 0; r < rep; r++ {
+	if s.rep > 1 {
+		expanded := make([]byte, 0, len(s.logical)*s.rep)
+		for _, b := range s.logical {
+			for r := 0; r < s.rep; r++ {
 				expanded = append(expanded, b)
 			}
 		}
-		cfg.Bits = expanded
+		s.cfg.Bits = expanded
 	}
-	plat := cfg.boot()
-	defer plat.Close()
+	s.tCalEnd = s.cfg.CalBudget
+	s.tSetupEnd = s.tCalEnd + s.cfg.SetupBudget
+	s.t0 = s.tSetupEnd + s.cfg.SearchBudget
+	s.tEnd = s.t0 + sim.Cycles(len(s.cfg.Bits))*s.cfg.Window
+	s.res = &ChannelResult{Sent: s.cfg.Bits}
+	return s, nil
+}
 
-	// Agreed schedule (both sides know these offsets out of band).
-	tCalEnd := cfg.CalBudget
-	tSetupEnd := tCalEnd + cfg.SetupBudget
-	tSearchEnd := tSetupEnd + cfg.SearchBudget
-	t0 := tSearchEnd
-	tEnd := t0 + sim.Cycles(len(cfg.Bits))*cfg.Window
-
-	trojanProc := plat.NewProcess("trojan")
-	spyProc := plat.NewProcess("spy")
-	if _, err := trojanProc.CreateEnclave(calPages + trojanCandidates); err != nil {
-		return nil, err
+// createProcs builds the trojan and spy processes and their enclaves on
+// plat, in a fixed order: process index 0 is always the trojan, index 1 the
+// spy. Forked sessions re-find their processes by these indices.
+func (s *channelSession) createProcs(plat *platform.Platform) error {
+	s.trojanProc = plat.NewProcess("trojan")
+	s.spyProc = plat.NewProcess("spy")
+	if _, err := s.trojanProc.CreateEnclave(calPages + trojanCandidates); err != nil {
+		return err
 	}
-	if _, err := spyProc.CreateEnclave(calPages + spyCandidates); err != nil {
-		return nil, err
+	if _, err := s.spyProc.CreateEnclave(calPages + spyCandidates); err != nil {
+		return err
+	}
+	s.trojanCands = pageAddrs(s.trojanProc.Enclave().Base+enclave.VAddr(calPages*enclave.PageBytes), trojanCandidates, s.cfg.Index512)
+	s.spyCands = pageAddrs(s.spyProc.Enclave().Base+enclave.VAddr(calPages*enclave.PageBytes), spyCandidates, s.cfg.Index512)
+	return nil
+}
+
+// evict runs the paper's forward(+backward) pass over the eviction set.
+func (s *channelSession) evict(th *platform.Thread) {
+	for i := 0; i < len(s.evSet); i++ { // forward phase
+		th.Access(s.evSet[i])
+		th.Flush(s.evSet[i])
+	}
+	th.Mfence()
+	if s.cfg.TwoPhaseEviction {
+		for i := len(s.evSet) - 1; i >= 0; i-- { // backward phase
+			th.Access(s.evSet[i])
+			th.Flush(s.evSet[i])
+		}
+		th.Mfence()
+	}
+}
+
+// trojanWarm is the sender's pre-transmission work: threshold calibration,
+// Algorithm 1, and the search-phase burst loop the spy locks onto. It
+// reports whether the phase succeeded; on failure s.trojanErr is set.
+func (s *channelSession) trojanWarm(th *platform.Thread) bool {
+	th.EnterEnclave()
+	base := s.trojanProc.Enclave().Base
+	threshold := calibrateThreshold(th, pageAddrs(base, calPages, s.cfg.Index512))
+	th.SpinUntil(s.tCalEnd)
+
+	a1, err := FindEvictionSet(th, s.trojanCands, threshold)
+	if err != nil {
+		s.trojanErr = err
+		return false
+	}
+	s.evSet = a1.EvictionSet
+	s.liveEvictionSet = s.evSet
+	s.res.EvictionSetSize = len(s.evSet)
+	s.res.SetupCycles = th.Now()
+	if th.Now() > s.tSetupEnd {
+		s.trojanErr = fmt.Errorf("core: trojan setup overran its budget (%d > %d)", th.Now(), s.tSetupEnd)
+		return false
 	}
 
-	res := &ChannelResult{Sent: cfg.Bits}
-	var trojanErr, spyErr error
-
-	trojanCands := pageAddrs(trojanProc.Enclave().Base+enclave.VAddr(calPages*enclave.PageBytes), trojanCandidates, cfg.Index512)
-	spyCands := pageAddrs(spyProc.Enclave().Base+enclave.VAddr(calPages*enclave.PageBytes), spyCandidates, cfg.Index512)
-	// Live working sets, filled in by the actors once discovered; fault
-	// injection reads them (engine-serialized) to aim paging events at the
-	// pages that actually carry the channel.
-	var liveEvictionSet, liveMonitor []enclave.VAddr
-
-	// ------------------------------------------------------------------
-	// Trojan (Algorithm 2, sender side).
-	trojanTh := plat.SpawnThread("trojan", trojanProc, cfg.TrojanCore, func(th *platform.Thread) {
-		th.EnterEnclave()
-		base := trojanProc.Enclave().Base
-		threshold := calibrateThreshold(th, pageAddrs(base, calPages, cfg.Index512))
-		th.SpinUntil(tCalEnd)
-
-		cands := trojanCands
-		a1, err := FindEvictionSet(th, cands, threshold)
-		if err != nil {
-			trojanErr = err
-			return
-		}
-		evSet := a1.EvictionSet
-		liveEvictionSet = evSet
-		res.EvictionSetSize = len(evSet)
-		res.SetupCycles = th.Now()
-		if th.Now() > tSetupEnd {
-			trojanErr = fmt.Errorf("core: trojan setup overran its budget (%d > %d)", th.Now(), tSetupEnd)
-			return
-		}
-
-		evict := func() {
-			for i := 0; i < len(evSet); i++ { // forward phase
-				th.Access(evSet[i])
-				th.Flush(evSet[i])
-			}
-			th.Mfence()
-			if cfg.TwoPhaseEviction {
-				for i := len(evSet) - 1; i >= 0; i-- { // backward phase
-					th.Access(evSet[i])
-					th.Flush(evSet[i])
-				}
-				th.Mfence()
-			}
-		}
-
-		// Search phase: burst continuously so the spy can find which of
-		// its addresses conflicts with the eviction set.
-		th.SpinUntil(tSetupEnd)
-		for th.Now() < tSearchEnd-20_000 {
-			evict()
-			th.Spin(1000)
-		}
-
-		// Transmission (Algorithm 2, trojan's operation).
-		for i, bit := range cfg.Bits {
-			waitUntilTimer(th, t0+sim.Cycles(i)*cfg.Window)
-			if bit == 1 {
-				evict()
-			}
-			// '0': busy loop until the next window (the waitUntilTimer at
-			// the top of the loop).
-		}
-	})
-
-	// ------------------------------------------------------------------
-	// Spy (Algorithm 2, receiver side).
-	spyTh := plat.SpawnThread("spy", spyProc, cfg.SpyCore, func(th *platform.Thread) {
-		th.EnterEnclave()
-		base := spyProc.Enclave().Base
-		// Calibrate in the second half of the calibration phase, staggered
-		// against the trojan so the two measurement loops don't contend.
-		th.SpinUntil(tCalEnd / 2)
-		threshold := calibrateThreshold(th, pageAddrs(base, calPages, cfg.Index512))
-		res.SpyThreshold = threshold
-		th.SpinUntil(tSetupEnd)
-
-		// Monitor discovery: sample each candidate while the trojan
-		// bursts; the address the bursts keep evicting is the monitor.
-		cands := spyCands
-		const samples = 10
-		bestScore, monitor := -1, enclave.VAddr(0)
-		for _, cand := range cands {
-			score := 0
-			for s := 0; s < samples; s++ {
-				th.Access(cand)
-				th.Flush(cand)
-				th.SpinUntil(th.Now() + 40_000) // several burst periods
-				if timedAccess(th, cand) > threshold {
-					score++
-				}
-				th.Flush(cand)
-			}
-			if score > bestScore {
-				bestScore, monitor = score, cand
-			}
-		}
-		res.MonitorScore = bestScore
-		if bestScore < samples*6/10 {
-			spyErr = fmt.Errorf("core: monitor discovery failed (best score %d/%d)", bestScore, samples)
-			return
-		}
-		if th.Now() > t0 {
-			spyErr = fmt.Errorf("core: spy search overran its budget (%d > %d)", th.Now(), t0)
-			return
-		}
-		liveMonitor = []enclave.VAddr{monitor}
-
-		// Prime just before transmission starts (after the trojan's last
-		// search-phase burst), then decode each window (Algorithm 2, spy's
-		// operation). The probe itself re-primes after a miss.
-		waitUntilTimer(th, t0-5000)
-		th.Access(monitor)
-		th.Flush(monitor)
-		res.Received = make([]byte, len(cfg.Bits))
-		res.ProbeTimes = make([]sim.Cycles, len(cfg.Bits))
-		probeOffset := sim.Cycles(float64(cfg.Window) * cfg.ProbePhase)
-		for i := range cfg.Bits {
-			waitUntilTimer(th, t0+sim.Cycles(i)*cfg.Window+probeOffset)
-			t := timedAccess(th, monitor)
-			th.Flush(monitor)
-			res.ProbeTimes[i] = t
-			if t > threshold {
-				res.Received[i] = 1
-			}
-		}
-	})
-
-	if err := spawnNoise(plat, cfg.Noise, cfg.NoiseCore, t0); err != nil {
-		return nil, err
+	// Search phase: burst continuously so the spy can find which of its
+	// addresses conflicts with the eviction set.
+	th.SpinUntil(s.tSetupEnd)
+	for th.Now() < s.t0-20_000 {
+		s.evict(th)
+		th.Spin(1000)
 	}
-	var injector *fault.Injector
-	if cfg.Fault != nil {
-		fc := *cfg.Fault
-		if fc.Start == 0 && fc.End == 0 {
-			fc.Start, fc.End = t0, tEnd
+	return true
+}
+
+// trojanTransmit is Algorithm 2, the trojan's operation.
+func (s *channelSession) trojanTransmit(th *platform.Thread) {
+	for i, bit := range s.cfg.Bits {
+		waitUntilTimer(th, s.t0+sim.Cycles(i)*s.cfg.Window)
+		if bit == 1 {
+			s.evict(th)
 		}
-		injector = fault.NewPlan(fc).Attach(plat, fault.Targets{
-			Trojan: trojanTh, Spy: spyTh,
-			TrojanProc: trojanProc, SpyProc: spyProc,
-			TrojanPages: trojanCands, SpyPages: spyCands,
-			TrojanLive: func() []enclave.VAddr { return liveEvictionSet },
-			SpyLive:    func() []enclave.VAddr { return liveMonitor },
-			TrojanHome: cfg.TrojanCore, SpyHome: cfg.SpyCore,
-			StormCore: cfg.NoiseCore,
-		})
+		// '0': busy loop until the next window (the waitUntilTimer at
+		// the top of the loop).
 	}
-	// Snapshot detector-visible statistics over the transmission phase.
-	plat.Engine().SpawnAt("stats-reset", t0-1, func(p *sim.Proc) {
+}
+
+// spyWarm is the receiver's pre-transmission work: threshold calibration
+// and monitor-address discovery against the trojan's search bursts.
+func (s *channelSession) spyWarm(th *platform.Thread) bool {
+	th.EnterEnclave()
+	base := s.spyProc.Enclave().Base
+	// Calibrate in the second half of the calibration phase, staggered
+	// against the trojan so the two measurement loops don't contend.
+	th.SpinUntil(s.tCalEnd / 2)
+	s.spyThreshold = calibrateThreshold(th, pageAddrs(base, calPages, s.cfg.Index512))
+	s.res.SpyThreshold = s.spyThreshold
+	th.SpinUntil(s.tSetupEnd)
+
+	// Monitor discovery: sample each candidate while the trojan bursts;
+	// the address the bursts keep evicting is the monitor.
+	const samples = 10
+	bestScore, monitor := -1, enclave.VAddr(0)
+	for _, cand := range s.spyCands {
+		score := 0
+		for i := 0; i < samples; i++ {
+			th.Access(cand)
+			th.Flush(cand)
+			th.SpinUntil(th.Now() + 40_000) // several burst periods
+			if timedAccess(th, cand) > s.spyThreshold {
+				score++
+			}
+			th.Flush(cand)
+		}
+		if score > bestScore {
+			bestScore, monitor = score, cand
+		}
+	}
+	s.res.MonitorScore = bestScore
+	if bestScore < samples*6/10 {
+		s.spyErr = fmt.Errorf("core: monitor discovery failed (best score %d/%d)", bestScore, samples)
+		return false
+	}
+	if th.Now() > s.t0 {
+		s.spyErr = fmt.Errorf("core: spy search overran its budget (%d > %d)", th.Now(), s.t0)
+		return false
+	}
+	s.monitor = monitor
+	s.liveMonitor = []enclave.VAddr{monitor}
+	return true
+}
+
+// spyTransmit is Algorithm 2, the spy's operation: prime just before
+// transmission starts (after the trojan's last search-phase burst), then
+// decode each window. The probe itself re-primes after a miss.
+func (s *channelSession) spyTransmit(th *platform.Thread) {
+	waitUntilTimer(th, s.t0-5000)
+	th.Access(s.monitor)
+	th.Flush(s.monitor)
+	s.res.Received = make([]byte, len(s.cfg.Bits))
+	s.res.ProbeTimes = make([]sim.Cycles, len(s.cfg.Bits))
+	probeOffset := sim.Cycles(float64(s.cfg.Window) * s.cfg.ProbePhase)
+	for i := range s.cfg.Bits {
+		waitUntilTimer(th, s.t0+sim.Cycles(i)*s.cfg.Window+probeOffset)
+		t := timedAccess(th, s.monitor)
+		th.Flush(s.monitor)
+		s.res.ProbeTimes[i] = t
+		if t > s.spyThreshold {
+			s.res.Received[i] = 1
+		}
+	}
+}
+
+// spawnStatsReset arms the detector-statistics snapshot at transmission
+// start: detector-visible counters cover the transmission phase only.
+func (s *channelSession) spawnStatsReset(plat *platform.Platform) {
+	plat.Engine().SpawnAt("stats-reset", s.t0-1, func(p *sim.Proc) {
 		plat.Caches().LLC().ResetStats()
 		plat.MEE().ResetStats()
 	})
-	if cfg.onPlatform != nil {
-		cfg.onPlatform(plat, t0, tEnd)
-	}
+}
 
-	plat.Run(tEnd + cfg.Window)
+// finish turns the raw transmission record into the ChannelResult:
+// footprint capture, repetition decoding, error statistics, and optional
+// observability export.
+func (s *channelSession) finish(plat *platform.Platform, injector *fault.Injector) (*ChannelResult, error) {
+	res := s.res
 	res.Footprint = captureFootprint(plat)
 	if injector != nil {
 		res.Faults = injector.Log()
 	}
-	if trojanErr != nil {
-		return res, trojanErr
+	if s.trojanErr != nil {
+		return res, s.trojanErr
 	}
-	if spyErr != nil {
-		return res, spyErr
+	if s.spyErr != nil {
+		return res, s.spyErr
 	}
 	if res.Received == nil {
 		return res, fmt.Errorf("core: spy never completed transmission")
 	}
 
-	if rep > 1 {
+	if s.rep > 1 {
 		// Majority-decode each repetition group back to logical bits.
-		decoded := make([]byte, len(logical))
-		for i := range logical {
+		decoded := make([]byte, len(s.logical))
+		for i := range s.logical {
 			ones := 0
-			for r := 0; r < rep; r++ {
-				ones += int(res.Received[i*rep+r])
+			for r := 0; r < s.rep; r++ {
+				ones += int(res.Received[i*s.rep+r])
 			}
-			if ones*2 > rep {
+			if ones*2 > s.rep {
 				decoded[i] = 1
 			}
 		}
-		res.Sent = logical
+		res.Sent = s.logical
 		res.Received = decoded
 	}
 	for i := range res.Sent {
@@ -407,8 +425,8 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 		}
 	}
 	res.ErrorRate = float64(res.BitErrors) / float64(len(res.Sent))
-	res.KBps = plat.WindowKBps(cfg.Window) / float64(rep)
-	if o := cfg.Obs; o != nil {
+	res.KBps = plat.WindowKBps(s.cfg.Window) / float64(s.rep)
+	if o := s.cfg.Obs; o != nil {
 		o.Counter("channel.windows").Add(uint64(len(res.ProbeTimes)))
 		o.Counter("channel.bits_sent").Add(uint64(len(res.Sent)))
 		o.Counter("channel.bits_decoded").Add(uint64(len(res.Received)))
@@ -423,9 +441,9 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 			track := tr.Track("channel")
 			nProbe := tr.Name("channel.probe")
 			nErrs := tr.Name("channel.errors")
-			probeOffset := sim.Cycles(float64(cfg.Window) * cfg.ProbePhase)
+			probeOffset := sim.Cycles(float64(s.cfg.Window) * s.cfg.ProbePhase)
 			for i, pt := range res.ProbeTimes {
-				tr.Instant(track, nProbe, int64(t0+sim.Cycles(i)*cfg.Window+probeOffset), int64(pt))
+				tr.Instant(track, nProbe, int64(s.t0+sim.Cycles(i)*s.cfg.Window+probeOffset), int64(pt))
 			}
 			errSoFar, ei := 0, 0
 			for i := range res.Sent {
@@ -433,9 +451,70 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 					errSoFar++
 					ei++
 				}
-				tr.Count(nErrs, int64(t0+sim.Cycles((i+1)*rep)*cfg.Window), int64(errSoFar))
+				tr.Count(nErrs, int64(s.t0+sim.Cycles((i+1)*s.rep)*s.cfg.Window), int64(errSoFar))
 			}
 		}
 	}
 	return res, nil
+}
+
+// RunChannel executes one full covert-channel session: threshold
+// calibration on both sides, trojan eviction-set construction (Algorithm 1),
+// spy monitor-address discovery, then the Algorithm 2 transmission of
+// cfg.Bits. It returns the decoded sequence and channel statistics.
+//
+// Each side runs warm and transmit phases back to back in a single actor,
+// so the operation stream is identical to the historical single-closure
+// implementation. WarmChannel/ChannelWarmState.Run split the same phases
+// across a platform fork instead.
+func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
+	s, err := prepareChannel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = s.cfg
+	plat := cfg.boot()
+	defer plat.Close()
+	if err := s.createProcs(plat); err != nil {
+		return nil, err
+	}
+
+	trojanTh := plat.SpawnThread("trojan", s.trojanProc, cfg.TrojanCore, func(th *platform.Thread) {
+		if s.trojanWarm(th) {
+			s.trojanTransmit(th)
+		}
+	})
+	spyTh := plat.SpawnThread("spy", s.spyProc, cfg.SpyCore, func(th *platform.Thread) {
+		if s.spyWarm(th) {
+			s.spyTransmit(th)
+		}
+	})
+
+	if err := spawnNoise(plat, cfg.Noise, cfg.NoiseCore, s.t0); err != nil {
+		return nil, err
+	}
+	var injector *fault.Injector
+	if cfg.Fault != nil {
+		fc := *cfg.Fault
+		if fc.Start == 0 && fc.End == 0 {
+			fc.Start, fc.End = s.t0, s.tEnd
+		}
+		injector = fault.NewPlan(fc).Attach(plat, fault.Targets{
+			Trojan: trojanTh, Spy: spyTh,
+			TrojanProc: s.trojanProc, SpyProc: s.spyProc,
+			TrojanPages: s.trojanCands, SpyPages: s.spyCands,
+			TrojanLive: func() []enclave.VAddr { return s.liveEvictionSet },
+			SpyLive:    func() []enclave.VAddr { return s.liveMonitor },
+			TrojanHome: cfg.TrojanCore, SpyHome: cfg.SpyCore,
+			StormCore: cfg.NoiseCore,
+		})
+	}
+	// Snapshot detector-visible statistics over the transmission phase.
+	s.spawnStatsReset(plat)
+	if cfg.onPlatform != nil {
+		cfg.onPlatform(plat, s.t0, s.tEnd)
+	}
+
+	plat.Run(s.tEnd + cfg.Window)
+	return s.finish(plat, injector)
 }

@@ -22,6 +22,12 @@ import (
 // The faults/intensity/faultseed parameters select the campaign; with none
 // of them set the trial measures the fault-free baseline.
 //
+// Chaos trials always boot fresh platforms, never warm forks: fault
+// injectors attach to the platform and arm themselves during the warm
+// phase, which is exactly the state a platform snapshot cannot carry (see
+// warmRestriction). The harness therefore shares seeds but not warm state
+// when a chaos spec uses SharedAxes.
+//
 // Metrics: static_ber, static_delivered, static_goodput_kbps,
 // adaptive_delivered, adaptive_goodput_kbps, adaptive_rounds, retransmits,
 // recals, resyncs, bits_sent, faults_applied.

@@ -142,6 +142,17 @@ func BuildChannelConfig(params map[string]string, seed uint64) (ChannelConfig, e
 // "channel" study. A run whose setup fails returns an error (the harness
 // records it as a cell failure).
 func ChannelTrial(params map[string]string, seed uint64, withMetrics bool) (map[string]float64, *obs.Snapshot, error) {
+	return ChannelTrialWarm(params, seed, withMetrics, nil)
+}
+
+// ChannelTrialWarm is ChannelTrial with an optional warm-state cache: when
+// warm is non-nil and the config qualifies for warm forking (no noise, no
+// faults, no observer — see warmRestriction), the trial forks a cached
+// warmed platform instead of warming its own. The result is exactly the
+// one a fresh run produces, so callers may mix cached and uncached trials
+// freely; configs the warm path cannot carry silently fall back to
+// RunChannel.
+func ChannelTrialWarm(params map[string]string, seed uint64, withMetrics bool, warm *WarmCache) (map[string]float64, *obs.Snapshot, error) {
 	cfg, err := BuildChannelConfig(params, seed)
 	if err != nil {
 		return nil, nil, err
@@ -151,7 +162,16 @@ func ChannelTrial(params map[string]string, seed uint64, withMetrics bool) (map[
 		o = obs.NewObserver()
 		cfg.Obs = o
 	}
-	res, err := RunChannel(cfg)
+	var res *ChannelResult
+	if warm != nil && warmRestriction(cfg) == nil {
+		ws, werr := warm.Warm(cfg)
+		if werr != nil {
+			return nil, nil, werr
+		}
+		res, err = ws.Run(cfg)
+	} else {
+		res, err = RunChannel(cfg)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// WarmCache memoizes ChannelWarmState values by the parameters the warm
+// phase depends on, so trials that share a seed and machine (the experiment
+// harness's SharedAxes) pay the warm-up once. It is safe for concurrent use
+// and preserves the harness's determinism contract: a warm-forked run is
+// exactly equal to a fresh one (TestWarmForkMatchesFreshRun), so whether a
+// trial hits or misses the cache is invisible in the results.
+//
+// Each entry pins a platform snapshot (roughly one warmed platform's
+// memory), so the cache is bounded: beyond capacity the least recently used
+// entry is dropped and would be rebuilt — deterministically — on a later
+// miss. The harness dispatches shared-seed jobs back to back, so a small
+// capacity captures all the reuse.
+type WarmCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*warmEntry
+	lru *list.List // front = most recently used; values are *warmEntry
+}
+
+type warmEntry struct {
+	key  string
+	elem *list.Element
+	once sync.Once
+	ws   *ChannelWarmState
+	err  error
+}
+
+// NewWarmCache returns a cache holding at most capacity warm states
+// (capacity <= 0 selects a default suited to the harness's worker pools).
+func NewWarmCache(capacity int) *WarmCache {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &WarmCache{cap: capacity, m: map[string]*warmEntry{}, lru: list.New()}
+}
+
+// warmKey identifies a warm phase: everything WarmChannel's product depends
+// on and ChannelWarmState.Run checks compatibility against. Configs that
+// differ only in transmit-side knobs (Bits, Window, ProbePhase, Repetition)
+// share a key.
+func warmKey(cfg ChannelConfig) string {
+	o := cfg.Options
+	return fmt.Sprintf("seed=%d epc=%d pol=%q rev=%g spike=%g/%g mee=%dx%d idx=%d twophase=%t cores=%d/%d budget=%d/%d/%d",
+		o.Seed, o.EPCMode, o.MEEPolicy, o.RandomEvictProb, o.SpikeProb, o.SpikeMax,
+		o.MEESets, o.MEEWays,
+		cfg.Index512, cfg.TwoPhaseEviction, cfg.TrojanCore, cfg.SpyCore,
+		cfg.CalBudget, cfg.SetupBudget, cfg.SearchBudget)
+}
+
+// Warm returns the cached warm state for cfg's warm parameters, running
+// WarmChannel on first use. Concurrent callers with the same key share one
+// warm-up; callers with different keys warm in parallel. Errors are cached
+// too (a machine whose warm phase fails, fails the same way every time).
+func (c *WarmCache) Warm(cfg ChannelConfig) (*ChannelWarmState, error) {
+	cfg.applyDefaults()
+	if err := warmRestriction(cfg); err != nil {
+		return nil, err
+	}
+	key := warmKey(cfg)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if ok {
+		c.lru.MoveToFront(e.elem)
+	} else {
+		e = &warmEntry{key: key}
+		e.elem = c.lru.PushFront(e)
+		c.m[key] = e
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			evict := oldest.Value.(*warmEntry)
+			c.lru.Remove(oldest)
+			delete(c.m, evict.key)
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.ws, e.err = WarmChannel(cfg) })
+	return e.ws, e.err
+}

@@ -13,6 +13,7 @@ package cpucache
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"meecc/internal/cache"
 	"meecc/internal/dram"
@@ -96,8 +97,11 @@ type Hierarchy struct {
 	l2  []*cache.Cache
 	llc *cache.Cache
 	// bufs mirrors plaintext content and dirtiness of every LLC-resident
-	// line (inclusive LLC means LLC residency == hierarchy residency).
-	bufs map[dram.Addr]*lineBuf
+	// line (inclusive LLC means LLC residency == hierarchy residency). It is
+	// a dense array indexed [set*ways+way] in parallel with the LLC's line
+	// storage, so the hot-path lookup is an array index instead of a map
+	// probe.
+	bufs []*lineBuf
 	// bufFree recycles lineBufs dropped from bufs so the steady-state access
 	// path allocates nothing; victim is the scratch Victim those drops fill.
 	bufFree []*lineBuf
@@ -130,13 +134,60 @@ func New(cfg Config, policy cache.Policy) *Hierarchy {
 	h := &Hierarchy{
 		cfg:  cfg,
 		llc:  cache.New("llc", cfg.LLCSets, cfg.LLCWays, policy),
-		bufs: make(map[dram.Addr]*lineBuf),
+		bufs: make([]*lineBuf, cfg.LLCSets*cfg.LLCWays),
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		h.l1 = append(h.l1, cache.New(fmt.Sprintf("l1d-%d", c), cfg.L1Sets, cfg.L1Ways, policy))
 		h.l2 = append(h.l2, cache.New(fmt.Sprintf("l2-%d", c), cfg.L2Sets, cfg.L2Ways, policy))
 	}
 	return h
+}
+
+// Fork returns an independent deep copy of the hierarchy — every cache
+// level's lines, replacement state and statistics, plus the plaintext line
+// buffers — for platform forking. rng rebinds randomized replacement
+// policies to the fork's stream. Observability is not carried over.
+func (h *Hierarchy) Fork(rng *rand.Rand) *Hierarchy {
+	n := &Hierarchy{
+		cfg:  h.cfg,
+		llc:  h.llc.Clone(rng),
+		bufs: make([]*lineBuf, len(h.bufs)),
+	}
+	for _, c := range h.l1 {
+		n.l1 = append(n.l1, c.Clone(rng))
+	}
+	for _, c := range h.l2 {
+		n.l2 = append(n.l2, c.Clone(rng))
+	}
+	live := 0
+	for _, b := range h.bufs {
+		if b != nil {
+			live++
+		}
+	}
+	slab := make([]lineBuf, live) // one allocation for all resident lines
+	for i, b := range h.bufs {
+		if b != nil {
+			slab[0] = *b
+			n.bufs[i] = &slab[0]
+			slab = slab[1:]
+		}
+	}
+	return n
+}
+
+// bufIdx maps an LLC location to its slot in the dense buffer array.
+func (h *Hierarchy) bufIdx(set, way int) int { return set*h.cfg.LLCWays + way }
+
+// residentBuf returns the buffer of an LLC-resident line without touching
+// replacement state or statistics, or nil when absent.
+func (h *Hierarchy) residentBuf(addr dram.Addr) *lineBuf {
+	set := h.set(h.llc, addr)
+	way, ok := h.llc.WayOf(set, h.tag(addr))
+	if !ok {
+		return nil
+	}
+	return h.bufs[h.bufIdx(set, way)]
 }
 
 // Config returns the hierarchy configuration.
@@ -244,7 +295,7 @@ func (h *Hierarchy) markDirty(addr dram.Addr, write bool) {
 	if !write {
 		return
 	}
-	if b := h.bufs[addr]; b != nil {
+	if b := h.residentBuf(addr); b != nil {
 		b.dirty = true
 	}
 }
@@ -253,7 +304,7 @@ func (h *Hierarchy) markDirty(addr dram.Addr, write bool) {
 // not cached. The returned slice aliases internal state; writes through it
 // must be paired with a write Access so dirtiness is tracked.
 func (h *Hierarchy) Data(addr dram.Addr) *[dram.LineSize]byte {
-	if b := h.bufs[lineAddr(addr)]; b != nil {
+	if b := h.residentBuf(lineAddr(addr)); b != nil {
 		return &b.data
 	}
 	return nil
@@ -267,16 +318,31 @@ func (h *Hierarchy) Fill(core int, addr dram.Addr, data [dram.LineSize]byte, dir
 	addr = lineAddr(addr)
 	tag := h.tag(addr)
 	var victim *Victim
-	ev := h.llc.Insert(h.set(h.llc, addr), tag, false)
+	set := h.set(h.llc, addr)
+	way, ev := h.llc.InsertWay(set, tag, false)
+	idx := h.bufIdx(set, way)
 	if ev.Valid {
+		// The victim's buffer sits in the slot the new line just took; pull
+		// it out before overwriting, then back-invalidate the private caches
+		// (the LLC entry is already gone — Insert replaced it).
 		evAddr := dram.Addr(uint64(ev.Tag) * dram.LineSize)
-		victim = h.dropLine(evAddr)
+		evTag := h.tag(evAddr)
+		for c := 0; c < h.cfg.Cores; c++ {
+			h.l1[c].Invalidate(h.set(h.l1[c], evAddr), evTag)
+			h.l2[c].Invalidate(h.set(h.l2[c], evAddr), evTag)
+		}
+		if b := h.bufs[idx]; b != nil {
+			h.bufs[idx] = nil
+			h.victim = Victim{Addr: evAddr, Data: b.data, Dirty: b.dirty}
+			h.bufFree = append(h.bufFree, b)
+			victim = &h.victim
+		}
 	}
 	h.l2[core].Insert(h.set(h.l2[core], addr), tag, false)
 	h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
 	b := h.newLineBuf()
 	b.data, b.dirty = data, dirty
-	h.bufs[addr] = b
+	h.bufs[idx] = b
 	return victim
 }
 
@@ -289,9 +355,14 @@ func (h *Hierarchy) dropLine(addr dram.Addr) *Victim {
 		h.l1[c].Invalidate(h.set(h.l1[c], addr), tag)
 		h.l2[c].Invalidate(h.set(h.l2[c], addr), tag)
 	}
-	h.llc.Invalidate(h.set(h.llc, addr), tag)
-	b := h.bufs[addr]
-	delete(h.bufs, addr)
+	set := h.set(h.llc, addr)
+	way, _ := h.llc.InvalidateWay(set, tag)
+	if way < 0 {
+		return nil
+	}
+	idx := h.bufIdx(set, way)
+	b := h.bufs[idx]
+	h.bufs[idx] = nil
 	if b == nil {
 		return nil
 	}
@@ -308,7 +379,7 @@ func (h *Hierarchy) Flush(addr dram.Addr) (*Victim, sim.Cycles) {
 	addr = lineAddr(addr)
 	h.cFlush.Inc()
 	lat := sim.Cycles(h.cfg.FlushLat)
-	if _, ok := h.bufs[addr]; !ok {
+	if h.residentBuf(addr) == nil {
 		return nil, lat
 	}
 	return h.dropLine(addr), lat
@@ -316,6 +387,5 @@ func (h *Hierarchy) Flush(addr dram.Addr) (*Victim, sim.Cycles) {
 
 // Resident reports whether addr's line is anywhere in the hierarchy.
 func (h *Hierarchy) Resident(addr dram.Addr) bool {
-	_, ok := h.bufs[lineAddr(addr)]
-	return ok
+	return h.residentBuf(lineAddr(addr)) != nil
 }

@@ -1,0 +1,64 @@
+package dram
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"meecc/internal/sim"
+)
+
+// TestSteadyStateAccessZeroAlloc pins the dense chunk directory: once a
+// page is materialized, timed accesses and line reads/writes allocate
+// nothing — the map[Addr] structures this replaced allocated on growth and
+// hashed on every touch.
+func TestSteadyStateAccessZeroAlloc(t *testing.T) {
+	d := New(DefaultConfig())
+	rng := rand.New(rand.NewPCG(1, 2))
+	var now sim.Cycles
+	addrs := []Addr{0, 4096, 64 * 4096, 512 * 4096}
+	for _, a := range addrs {
+		d.WriteLine(a, [LineSize]byte{1})
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(200, func() {
+		a := addrs[i%len(addrs)]
+		now += d.Access(now, rng, a, i%2 == 0)
+		d.WriteLine(a, [LineSize]byte{byte(i)})
+		_ = d.ReadLine(a)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("steady-state access allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestForkSteadyStateZeroAlloc extends the pin across the COW boundary: a
+// forked DRAM pays one page copy on first write to a shared page, after
+// which its hot path is allocation-free again.
+func TestForkSteadyStateZeroAlloc(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 16; i++ {
+		d.WriteLine(Addr(i*4096), [LineSize]byte{byte(i)})
+	}
+	f := d.Snapshot().Fork()
+
+	// Reads of parent-owned pages never copy and never allocate.
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			_ = f.ReadLine(Addr(i * 4096))
+		}
+	}); allocs != 0 {
+		t.Fatalf("fork reads allocate %v per run, want 0", allocs)
+	}
+
+	// First write COWs the page; repeat writes are then allocation-free.
+	for i := 0; i < 16; i++ {
+		f.WriteLine(Addr(i*4096), [LineSize]byte{0xff})
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			f.WriteLine(Addr(i*4096), [LineSize]byte{0xaa})
+		}
+	}); allocs != 0 {
+		t.Fatalf("post-COW writes allocate %v per run, want 0", allocs)
+	}
+}

@@ -7,6 +7,7 @@ package dram
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"meecc/internal/sim"
 )
@@ -19,6 +20,41 @@ const LineSize = 64
 
 // pageBytes is the allocation granularity of the sparse backing store.
 const pageBytes = 4096
+
+// chunkPages pages form one directory chunk (2 MB of address space). The
+// backing store is a two-level structure — a dense chunk directory over
+// lazily materialized chunks of page pointers — so the per-access page
+// lookup is two array indexes instead of a map probe, and snapshots can
+// share untouched chunks between forks copy-on-write.
+const (
+	chunkPages = 512
+	chunkBytes = chunkPages * pageBytes
+)
+
+// generation tags implement copy-on-write ownership: a view may write a
+// chunk or page in place only when its tag matches the view's own
+// generation; anything older is shared with a snapshot and must be cloned
+// first. Tags only gate cloning — they never influence simulated behaviour —
+// so the process-global atomic does not perturb determinism.
+var generations atomic.Uint64
+
+func nextGeneration() uint64 { return generations.Add(1) }
+
+type page struct {
+	gen  uint64
+	data [pageBytes]byte
+}
+
+type chunk struct {
+	gen   uint64
+	pages [chunkPages]*page
+}
+
+func (c *chunk) clone(gen uint64) *chunk {
+	n := &chunk{gen: gen}
+	n.pages = c.pages
+	return n
+}
 
 // Config describes DRAM geometry and timing. All latencies are in CPU
 // cycles as seen from the core (they fold in the on-chip traversal after an
@@ -74,8 +110,10 @@ type Stats struct {
 // engine serializes actors).
 type DRAM struct {
 	cfg         Config
-	pages       map[Addr]*[pageBytes]byte
-	openRow     []int64 // per-bank open row, -1 = closed
+	dir         []*chunk // two-level page directory, chunk per 2 MB
+	gen         uint64   // COW ownership generation of this view
+	allocated   int      // pages materialized by this view and its ancestry
+	openRow     []int64  // per-bank open row, -1 = closed
 	banks       []sim.Resource
 	refreshedAt []int64 // per-bank refresh epoch counter
 	stats       Stats
@@ -88,7 +126,8 @@ func New(cfg Config) *DRAM {
 	}
 	d := &DRAM{
 		cfg:         cfg,
-		pages:       make(map[Addr]*[pageBytes]byte),
+		dir:         make([]*chunk, (cfg.Size+chunkBytes-1)/chunkBytes),
+		gen:         nextGeneration(),
 		openRow:     make([]int64, cfg.Banks),
 		banks:       make([]sim.Resource, cfg.Banks),
 		refreshedAt: make([]int64, cfg.Banks),
@@ -96,6 +135,63 @@ func New(cfg Config) *DRAM {
 	for i := range d.openRow {
 		d.openRow[i] = -1
 	}
+	return d
+}
+
+// Snapshot freezes the current memory image and timing state. The receiver
+// stays usable: it is flipped to a fresh generation so later writes clone
+// shared pages instead of mutating the frozen image. Snapshots are
+// immutable and safe to Fork from multiple goroutines.
+type Snapshot struct {
+	cfg         Config
+	dir         []*chunk
+	allocated   int
+	openRow     []int64
+	banks       []sim.Resource
+	refreshedAt []int64
+	stats       Stats
+}
+
+// Snapshot captures the DRAM for later forking; see Snapshot's doc.
+func (d *DRAM) Snapshot() *Snapshot {
+	s := &Snapshot{
+		cfg:         d.cfg,
+		dir:         make([]*chunk, len(d.dir)),
+		allocated:   d.allocated,
+		openRow:     make([]int64, len(d.openRow)),
+		banks:       make([]sim.Resource, len(d.banks)),
+		refreshedAt: make([]int64, len(d.refreshedAt)),
+		stats:       d.stats,
+	}
+	copy(s.dir, d.dir)
+	copy(s.openRow, d.openRow)
+	copy(s.banks, d.banks)
+	copy(s.refreshedAt, d.refreshedAt)
+	// Everything reachable from s.dir is now shared: move the parent to a
+	// new generation so it copy-on-writes against the frozen image too.
+	d.gen = nextGeneration()
+	return s
+}
+
+// Fork builds an independent DRAM view over the snapshot. Untouched pages
+// are shared with the snapshot; the first write to a page clones it. Forks
+// of one snapshot may be created and run concurrently (each fork itself is
+// still single-threaded, like DRAM).
+func (s *Snapshot) Fork() *DRAM {
+	d := &DRAM{
+		cfg:         s.cfg,
+		dir:         make([]*chunk, len(s.dir)),
+		gen:         nextGeneration(),
+		allocated:   s.allocated,
+		openRow:     make([]int64, len(s.openRow)),
+		banks:       make([]sim.Resource, len(s.banks)),
+		refreshedAt: make([]int64, len(s.refreshedAt)),
+		stats:       s.stats,
+	}
+	copy(d.dir, s.dir)
+	copy(d.openRow, s.openRow)
+	copy(d.banks, s.banks)
+	copy(d.refreshedAt, s.refreshedAt)
 	return d
 }
 
@@ -159,13 +255,39 @@ func (d *DRAM) Access(now sim.Cycles, rng *rand.Rand, addr Addr, write bool) sim
 	return stall + service
 }
 
-// page returns (allocating on demand) the backing page containing addr.
-func (d *DRAM) page(addr Addr) (*[pageBytes]byte, uint64) {
+// pageFor returns the backing page containing addr, materializing it on
+// demand (reads of untouched memory allocate a zero page, matching the
+// original sparse store so footprint accounting is unchanged). With write
+// set, the returned page is private to this view: pages shared with a
+// snapshot are cloned first.
+func (d *DRAM) pageFor(addr Addr, write bool) (*page, uint64) {
 	base := addr &^ (pageBytes - 1)
-	p, ok := d.pages[base]
-	if !ok {
-		p = new([pageBytes]byte)
-		d.pages[base] = p
+	ci := uint64(base) / chunkBytes
+	pi := (uint64(base) % chunkBytes) / pageBytes
+	ch := d.dir[ci]
+	if ch == nil {
+		ch = &chunk{gen: d.gen}
+		d.dir[ci] = ch
+	}
+	p := ch.pages[pi]
+	if p == nil {
+		if ch.gen != d.gen {
+			ch = ch.clone(d.gen)
+			d.dir[ci] = ch
+		}
+		p = &page{gen: d.gen}
+		ch.pages[pi] = p
+		d.allocated++
+		return p, uint64(addr - base)
+	}
+	if write && p.gen != d.gen {
+		if ch.gen != d.gen {
+			ch = ch.clone(d.gen)
+			d.dir[ci] = ch
+		}
+		np := &page{gen: d.gen, data: p.data}
+		ch.pages[pi] = np
+		p = np
 	}
 	return p, uint64(addr - base)
 }
@@ -177,8 +299,8 @@ func (d *DRAM) ReadBytes(addr Addr, buf []byte) {
 		panic(fmt.Sprintf("dram: read [%#x,+%d) beyond capacity", addr, len(buf)))
 	}
 	for n := 0; n < len(buf); {
-		p, off := d.page(addr + Addr(n))
-		c := copy(buf[n:], p[off:])
+		p, off := d.pageFor(addr+Addr(n), false)
+		c := copy(buf[n:], p.data[off:])
 		n += c
 	}
 }
@@ -189,8 +311,8 @@ func (d *DRAM) WriteBytes(addr Addr, data []byte) {
 		panic(fmt.Sprintf("dram: write [%#x,+%d) beyond capacity", addr, len(data)))
 	}
 	for n := 0; n < len(data); {
-		p, off := d.page(addr + Addr(n))
-		c := copy(p[off:], data[n:])
+		p, off := d.pageFor(addr+Addr(n), true)
+		c := copy(p.data[off:], data[n:])
 		n += c
 	}
 }
@@ -208,5 +330,6 @@ func (d *DRAM) WriteLine(addr Addr, line [LineSize]byte) {
 }
 
 // AllocatedPages reports how many 4 KB backing pages have been materialized
-// (diagnostics; the store is sparse so 32 GB costs nothing up front).
-func (d *DRAM) AllocatedPages() int { return len(d.pages) }
+// (diagnostics; the store is sparse so 32 GB costs nothing up front). A
+// forked view counts pages inherited from its snapshot plus its own.
+func (d *DRAM) AllocatedPages() int { return d.allocated }

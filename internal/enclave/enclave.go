@@ -51,6 +51,15 @@ func (pt *PageTable) Translate(va VAddr) (dram.Addr, bool) {
 // Mapped reports the number of mapped pages.
 func (pt *PageTable) Mapped() int { return len(pt.pages) }
 
+// Clone returns an independent deep copy of the page table.
+func (pt *PageTable) Clone() *PageTable {
+	n := &PageTable{pages: make(map[VAddr]dram.Addr, len(pt.pages))}
+	for va, pa := range pt.pages {
+		n.pages[va] = pa
+	}
+	return n
+}
+
 // AllocMode selects how the EPC allocator hands out physical frames.
 type AllocMode int
 
@@ -117,6 +126,23 @@ func NewEPCAllocator(base dram.Addr, size uint64, mode AllocMode, rng *rand.Rand
 		a.frames = out
 	}
 	return a
+}
+
+// Clone returns an independent deep copy of the allocator (frame order,
+// cursor, and ownership). Determinism note: the frame order was fixed at
+// construction, so clones allocate the same frames in the same order as the
+// original would have.
+func (a *EPCAllocator) Clone() *EPCAllocator {
+	n := &EPCAllocator{
+		frames: make([]dram.Addr, len(a.frames)),
+		next:   a.next,
+		owner:  make(map[dram.Addr]int, len(a.owner)),
+	}
+	copy(n.frames, a.frames)
+	for f, id := range a.owner {
+		n.owner[f] = id
+	}
+	return n
 }
 
 // Alloc hands the next frame to enclave eid.

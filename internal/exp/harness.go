@@ -149,7 +149,7 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 	cells := spec.Cells()
 	jobs := make([]Job, 0, len(cells)*spec.Trials)
 	for _, cell := range cells {
-		key := cell.Key()
+		key := spec.SeedKey(cell)
 		for t := 0; t < spec.Trials; t++ {
 			jobs = append(jobs, Job{
 				Spec:  spec,
@@ -157,6 +157,26 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 				Trial: t,
 				Seed:  TrialSeed(spec.BaseSeed, key, t),
 			})
+		}
+	}
+
+	// Dispatch order. Results land at precomputed indices, so any order
+	// yields the same artifact; normally jobs go out cell-major (their
+	// storage order). With shared axes, jobs that share a seed live in
+	// different cells, so dispatch trial-major instead: the shared-seed
+	// jobs of each trial run back to back and a study's warm-state cache
+	// only ever needs a handful of live entries.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	if len(spec.SharedAxes) > 0 {
+		k := 0
+		for t := 0; t < spec.Trials; t++ {
+			for ci := range cells {
+				order[k] = ci*spec.Trials + t
+				k++
+			}
 		}
 	}
 
@@ -213,13 +233,13 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 			}
 		}()
 	}
-	dispatched := len(jobs)
+	dispatched := len(order)
 dispatch:
-	for i := range jobs {
+	for j, i := range order {
 		if cfg.Cancel != nil {
 			select {
 			case <-cfg.Cancel:
-				dispatched = i
+				dispatched = j
 				break dispatch
 			case idxCh <- i:
 				continue
@@ -233,7 +253,8 @@ dispatch:
 	// Trials the cancel cut off are recorded as skipped, so the aggregates
 	// count them as failures instead of silently averaging over fewer
 	// samples than the spec asked for.
-	for i := dispatched; i < len(jobs); i++ {
+	for j := dispatched; j < len(order); j++ {
+		i := order[j]
 		results[i] = TrialResult{
 			Cell:    jobs[i].Cell.Index,
 			CellKey: jobs[i].Cell.Key(),

@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"meecc/internal/core"
+	"meecc/internal/obs"
+)
+
+func TestSeedKeyStripsSharedAxes(t *testing.T) {
+	spec := &Spec{
+		Name:   "sk",
+		Trials: 1,
+		Axes: []Axis{
+			{Name: "window", Values: []string{"7500", "15000"}},
+			{Name: "noise", Values: []string{"none", "memory"}},
+		},
+	}
+	cells := spec.Cells()
+
+	// No shared axes: SeedKey is the cell key.
+	for _, c := range cells {
+		if got := spec.SeedKey(c); got != c.Key() {
+			t.Errorf("no shared axes: SeedKey %q != Key %q", got, c.Key())
+		}
+	}
+
+	spec.SharedAxes = []string{"window"}
+	if got := spec.SeedKey(cells[0]); got != "noise=none" {
+		t.Errorf("SeedKey with window shared = %q, want %q", got, "noise=none")
+	}
+
+	spec.SharedAxes = []string{"window", "noise"}
+	if got := spec.SeedKey(cells[0]); got != "-" {
+		t.Errorf("SeedKey with all axes shared = %q, want %q", got, "-")
+	}
+}
+
+func TestValidateSharedAxes(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:   "v",
+			Trials: 1,
+			Axes:   []Axis{{Name: "window", Values: []string{"7500"}}},
+		}
+	}
+	ok := base()
+	ok.SharedAxes = []string{"window"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid shared axis rejected: %v", err)
+	}
+	unknown := base()
+	unknown.SharedAxes = []string{"noise"}
+	if err := unknown.Validate(); err == nil {
+		t.Error("shared axis naming a non-axis accepted")
+	}
+	dup := base()
+	dup.SharedAxes = []string{"window", "window"}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate shared axis accepted")
+	}
+}
+
+// TestSharedAxesPairSeeds checks the seed contract: trial t of two cells
+// that differ only in a shared axis gets one seed (a paired comparison),
+// while distinct trials still get distinct seeds.
+func TestSharedAxesPairSeeds(t *testing.T) {
+	spec := &Spec{
+		Name:       "pair",
+		Trials:     3,
+		BaseSeed:   7,
+		Axes:       []Axis{{Name: "window", Values: []string{"7500", "15000", "30000"}}},
+		SharedAxes: []string{"window"},
+	}
+	runner := func(j Job) (Metrics, *obs.Snapshot, error) {
+		return Metrics{"seed": float64(j.Seed)}, nil, nil
+	}
+	rep, err := Run(spec, runner, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[int]map[uint64]bool{}
+	for _, tr := range rep.Trials {
+		if seeds[tr.Trial] == nil {
+			seeds[tr.Trial] = map[uint64]bool{}
+		}
+		seeds[tr.Trial][tr.Seed] = true
+	}
+	for trial, set := range seeds {
+		if len(set) != 1 {
+			t.Errorf("trial %d has %d distinct seeds across shared cells, want 1", trial, len(set))
+		}
+	}
+	if seeds[0] == nil || seeds[1] == nil || len(seeds) != 3 {
+		t.Fatalf("expected 3 trial indices, got %d", len(seeds))
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			for s := range seeds[a] {
+				if seeds[b][s] {
+					t.Errorf("trials %d and %d share seed %d", a, b, s)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedAxesWarmMatchesFreshAcrossWorkers is the end-to-end guarantee
+// for warm-state sharing: a shared-axis channel spec produces byte-identical
+// artifacts at any worker count, and those artifacts are exactly what a
+// runner that never touches the warm cache produces. The warm fork is an
+// optimization, never an observable.
+func TestSharedAxesWarmMatchesFreshAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full channel simulations in -short mode")
+	}
+	spec := &Spec{
+		Name:       "shared-warm",
+		Study:      "channel",
+		BaseSeed:   42,
+		Trials:     2,
+		Params:     map[string]string{"bits": "16", "pattern": "alternating"},
+		Axes:       []Axis{{Name: "window", Values: []string{"7500", "15000"}}},
+		SharedAxes: []string{"window"},
+	}
+	fresh := func(j Job) (Metrics, *obs.Snapshot, error) {
+		return core.ChannelTrial(j.Params(), j.Seed, j.Spec.Metrics)
+	}
+
+	var artifacts [][]byte
+	run := func(label string, via func() (*Report, error)) {
+		rep, err := via()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if n := rep.Failures(); n > 0 {
+			t.Fatalf("%s: %d channel trials failed: %+v", label, n, rep.Trials)
+		}
+		b, err := MarshalArtifact(rep.Artifact())
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		artifacts = append(artifacts, b)
+	}
+	run("warm workers=1", func() (*Report, error) { return RunSpec(spec, Config{Workers: 1}) })
+	run("warm workers=4", func() (*Report, error) { return RunSpec(spec, Config{Workers: 4}) })
+	run("fresh workers=2", func() (*Report, error) { return Run(spec, fresh, Config{Workers: 2}) })
+
+	for i := 1; i < len(artifacts); i++ {
+		if !bytes.Equal(artifacts[0], artifacts[i]) {
+			t.Fatalf("artifact %d differs from warm workers=1 baseline:\n%s\n---\n%s",
+				i, artifacts[0], artifacts[i])
+		}
+	}
+}

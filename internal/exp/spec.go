@@ -41,6 +41,15 @@ type Spec struct {
 	// (TrialResult.Obs). Snapshots contain only semantic instruments, so
 	// artifacts stay byte-identical across worker counts and schedulers.
 	Metrics bool `json:"metrics,omitempty"`
+	// SharedAxes names axes that are excluded from trial-seed derivation:
+	// trial t of two cells that differ only in shared axes gets the same
+	// seed, so those cells measure the shared axis on the *same* sampled
+	// machine instead of on independently re-seeded ones (a paired rather
+	// than unpaired comparison). Studies that support warm-state forking
+	// (the channel study) additionally reuse one warmed platform across
+	// the shared cells of a trial. Empty (the default) keeps the historic
+	// per-cell seeds, so existing artifacts are byte-for-byte unchanged.
+	SharedAxes []string `json:"shared_axes,omitempty"`
 }
 
 // Cell is one point of the grid: the axis assignment at a grid index.
@@ -83,6 +92,16 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("exp: spec %q: axis %q value %q contains ',' or '='", s.Name, ax.Name, v)
 			}
 		}
+	}
+	sharedSeen := map[string]bool{}
+	for _, name := range s.SharedAxes {
+		if !seen[name] {
+			return fmt.Errorf("exp: spec %q: shared axis %q is not an axis", s.Name, name)
+		}
+		if sharedSeen[name] {
+			return fmt.Errorf("exp: spec %q: duplicate shared axis %q", s.Name, name)
+		}
+		sharedSeen[name] = true
 	}
 	return nil
 }
@@ -130,6 +149,30 @@ func (c Cell) Key() string {
 	parts := make([]string, len(c.Params))
 	for i, p := range c.Params {
 		parts[i] = p.Name + "=" + p.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+// SeedKey is the part of a cell's identity that trial seeds derive from:
+// the cell key with the spec's shared axes removed. With no SharedAxes it
+// is exactly Key(), so seed derivation — and therefore every committed
+// artifact — is unchanged for historic specs.
+func (s *Spec) SeedKey(c Cell) string {
+	if len(s.SharedAxes) == 0 {
+		return c.Key()
+	}
+	shared := make(map[string]bool, len(s.SharedAxes))
+	for _, name := range s.SharedAxes {
+		shared[name] = true
+	}
+	parts := make([]string, 0, len(c.Params))
+	for _, p := range c.Params {
+		if !shared[p.Name] {
+			parts = append(parts, p.Name+"="+p.Value)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
 	}
 	return strings.Join(parts, ",")
 }

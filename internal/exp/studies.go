@@ -8,17 +8,39 @@ import (
 	"meecc/internal/obs"
 )
 
-// studies maps Spec.Study names to runners. Every runner is a pure
-// function of the job's parameters and seed (see Runner's contract).
-var studies = map[string]Runner{
-	"channel": func(j Job) (Metrics, *obs.Snapshot, error) {
-		return core.ChannelTrial(j.Params(), j.Seed, j.Spec.Metrics)
+// studies maps Spec.Study names to runner factories. RunnerFor calls the
+// factory, so every harness run gets a fresh runner with its own private
+// state (the channel study's warm cache). Every runner remains a pure
+// function of the job's parameters and seed in the sense the Runner
+// contract requires: the warm cache only memoizes warm-up work whose
+// forked results are exactly equal to fresh ones, so cache hits and misses
+// produce identical trial results.
+var studies = map[string]func() Runner{
+	"channel": func() Runner {
+		warm := core.NewWarmCache(0)
+		return func(j Job) (Metrics, *obs.Snapshot, error) {
+			// Warm sharing only pays off when cells share seeds; without
+			// shared axes every trial has a unique seed and caching would
+			// just pin dead snapshots.
+			var w *core.WarmCache
+			if len(j.Spec.SharedAxes) > 0 {
+				w = warm
+			}
+			return core.ChannelTrialWarm(j.Params(), j.Seed, j.Spec.Metrics, w)
+		}
 	},
-	"capacity": func(j Job) (Metrics, *obs.Snapshot, error) {
-		return core.CapacityTrial(j.Params(), j.Seed, j.Spec.Metrics)
+	"capacity": func() Runner {
+		return func(j Job) (Metrics, *obs.Snapshot, error) {
+			return core.CapacityTrial(j.Params(), j.Seed, j.Spec.Metrics)
+		}
 	},
-	"chaos": func(j Job) (Metrics, *obs.Snapshot, error) {
-		return core.ChaosTrial(j.Params(), j.Seed, j.Spec.Metrics)
+	// The chaos study compares fault campaigns, and fault injectors attach
+	// to the platform before the warm phase ends — outside what a snapshot
+	// can carry — so chaos trials always run fresh (see warmRestriction).
+	"chaos": func() Runner {
+		return func(j Job) (Metrics, *obs.Snapshot, error) {
+			return core.ChaosTrial(j.Params(), j.Seed, j.Spec.Metrics)
+		}
 	},
 }
 
@@ -32,16 +54,18 @@ func Studies() []string {
 	return names
 }
 
-// RunnerFor resolves a spec's study name ("" means "channel").
+// RunnerFor resolves a spec's study name ("" means "channel") to a fresh
+// runner instance. Runner-private caches live and die with the returned
+// runner, so memory is bounded per harness run.
 func RunnerFor(study string) (Runner, error) {
 	if study == "" {
 		study = "channel"
 	}
-	r, ok := studies[study]
+	factory, ok := studies[study]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown study %q (have: %v)", study, Studies())
 	}
-	return r, nil
+	return factory(), nil
 }
 
 // RunSpec resolves the spec's study and runs it — the one-call entry point

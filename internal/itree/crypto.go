@@ -46,6 +46,14 @@ func NewCrypto(master [16]byte) *Crypto {
 	return &Crypto{enc: eb, mac: mb}
 }
 
+// Clone returns a Crypto with the same keys but its own scratch buffers.
+// The cipher.Block values are stateless and safely shared; the scratch is
+// what makes a Crypto single-threaded, so forked platforms running on other
+// goroutines each need their own.
+func (c *Crypto) Clone() *Crypto {
+	return &Crypto{enc: c.enc, mac: c.mac}
+}
+
 func deriveKey(master [16]byte, label byte) [16]byte {
 	b, err := aes.NewCipher(master[:])
 	if err != nil {

@@ -153,8 +153,11 @@ type Engine struct {
 	cache *cache.Cache
 
 	// bufs mirrors the current content of every tree line resident in the
-	// MEE cache (DRAM may be stale for dirty lines).
-	bufs map[dram.Addr]*nodeBuf
+	// MEE cache (DRAM may be stale for dirty lines). It is a dense array
+	// indexed [set*ways+way] in parallel with the cache's line storage, so
+	// the per-walk lookup is an array index instead of a map probe.
+	bufs  []*nodeBuf
+	nBufs int // resident count, for maybeRandomEvict's capacity/empty checks
 	// bufFree recycles nodeBufs of evicted lines so the steady-state walk
 	// (fill one line, evict another) allocates nothing.
 	bufFree []*nodeBuf
@@ -162,8 +165,8 @@ type Engine struct {
 	// current.
 	root []uint64
 	// initialized tracks tree lines whose DRAM image has been materialized
-	// with valid MACs (lazy boot-time initialization).
-	initialized map[dram.Addr]bool
+	// with valid MACs (lazy boot-time initialization): one bit per PRM line.
+	initialized []uint64
 
 	port  sim.Resource
 	stats Stats
@@ -178,8 +181,11 @@ type Engine struct {
 	nHitLevel   obs.NameID
 }
 
-// nodeBuf is the decoded content of a cached tree line.
+// nodeBuf is the decoded content of a cached tree line. addr is the line's
+// DRAM address, kept here so resident lines can be enumerated from the
+// dense buffer array alone (random eviction, cache flush).
 type nodeBuf struct {
+	addr    dram.Addr
 	kind    itree.NodeKind
 	counter itree.CounterLine // for version/level lines
 	tags    itree.TagLine     // for tag lines
@@ -217,10 +223,53 @@ func New(cfg Config, geom itree.Geometry, crypt *itree.Crypto, mem *dram.DRAM) *
 		crypt:       crypt,
 		mem:         mem,
 		cache:       cache.New("mee", cfg.CacheSets, cfg.CacheWays, cfg.Policy),
-		bufs:        make(map[dram.Addr]*nodeBuf),
+		bufs:        make([]*nodeBuf, cfg.CacheSets*cfg.CacheWays),
 		root:        make([]uint64, geom.RootCounters),
-		initialized: make(map[dram.Addr]bool),
+		initialized: make([]uint64, (geom.PRMSize/itree.LineSize+63)/64),
 	}
+}
+
+// bufIdx maps a cache location to its slot in the dense buffer array.
+func (e *Engine) bufIdx(set, way int) int { return set*e.cfg.CacheWays + way }
+
+// initBit maps a PRM line address to its word and mask in the initialized
+// bitset.
+func (e *Engine) initBit(addr dram.Addr) (word int, mask uint64) {
+	line := uint64(addr-e.geom.PRMBase) / itree.LineSize
+	return int(line / 64), 1 << (line % 64)
+}
+
+// Fork returns an independent deep copy of the engine for platform forking:
+// cache contents and replacement state, resident node buffers, root
+// counters, init bitmap, port, and statistics all carry over. The copy gets
+// its own crypto scratch (same keys); mem rebinds it to the fork's DRAM
+// view; rng rebinds randomized replacement policies and must be the forked
+// engine's stream (nil keeps the source policy's stream — only valid for
+// frozen intermediate copies that never run). Observability is not carried
+// over — attach via Observe if needed.
+func (e *Engine) Fork(mem *dram.DRAM, rng *rand.Rand) *Engine {
+	n := &Engine{
+		cfg:         e.cfg,
+		geom:        e.geom,
+		crypt:       e.crypt.Clone(),
+		mem:         mem,
+		cache:       e.cache.Clone(rng),
+		bufs:        make([]*nodeBuf, len(e.bufs)),
+		nBufs:       e.nBufs,
+		root:        make([]uint64, len(e.root)),
+		initialized: make([]uint64, len(e.initialized)),
+		port:        e.port,
+		stats:       e.stats,
+	}
+	for i, nb := range e.bufs {
+		if nb != nil {
+			cp := *nb
+			n.bufs[i] = &cp
+		}
+	}
+	copy(n.root, e.root)
+	copy(n.initialized, e.initialized)
+	return n
 }
 
 // Cache exposes the MEE cache for statistics and white-box tests.

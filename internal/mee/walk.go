@@ -18,9 +18,9 @@ import (
 func (e *Engine) loadVersions(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 	vaddr := e.geom.VersionLineAddr(dataAddr)
 	set := e.CacheSetFor(vaddr)
-	if e.cache.Lookup(set, e.cacheTag(vaddr)) {
+	if way, hit := e.cache.LookupWay(set, e.cacheTag(vaddr)); hit {
 		w.markHit(HitVersions)
-		return e.bufs[vaddr], nil
+		return e.bufs[e.bufIdx(set, way)], nil
 	}
 	// Miss: fetch the line from DRAM.
 	w.dram(vaddr, false)
@@ -51,9 +51,9 @@ func (e *Engine) loadVersions(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 func (e *Engine) loadLevelCounter(w *walker, level int, idx uint64, slot int) (uint64, error) {
 	addr := e.geom.LevelLineAddr(level, idx)
 	set := e.CacheSetFor(addr)
-	if e.cache.Lookup(set, e.cacheTag(addr)) {
+	if way, hit := e.cache.LookupWay(set, e.cacheTag(addr)); hit {
 		w.markHit(HitL0 + HitLevel(level))
-		return e.bufs[addr].counter.Counters[slot], nil
+		return e.bufs[e.bufIdx(set, way)].counter.Counters[slot], nil
 	}
 	w.dram(addr, false)
 	e.ensureInit(addr)
@@ -88,8 +88,8 @@ func (e *Engine) loadLevelCounter(w *walker, level int, idx uint64, slot int) (u
 func (e *Engine) loadTags(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 	taddr := e.geom.TagLineAddr(dataAddr)
 	set := e.CacheSetFor(taddr)
-	if e.cache.Lookup(set, e.cacheTag(taddr)) {
-		return e.bufs[taddr], nil
+	if way, hit := e.cache.LookupWay(set, e.cacheTag(taddr)); hit {
+		return e.bufs[e.bufIdx(set, way)], nil
 	}
 	w.posted(taddr, false)
 	e.ensureInit(taddr)
@@ -110,14 +110,17 @@ func (w *walker) check() {
 // install fills a verified line into the MEE cache, handling the eviction
 // (and possible dirty writeback) of the displaced line.
 func (e *Engine) install(w *walker, addr dram.Addr, set int, nb *nodeBuf) {
-	evicted := e.cache.Insert(set, e.cacheTag(addr), nb.dirty)
-	e.bufs[addr] = nb
+	way, evicted := e.cache.InsertWay(set, e.cacheTag(addr), nb.dirty)
+	idx := e.bufIdx(set, way)
+	evBuf := e.bufs[idx] // victim's buffer lives in the slot we fill
+	nb.addr = addr
+	e.bufs[idx] = nb
+	e.nBufs++
 	if evicted.Valid {
-		evAddr := dram.Addr(uint64(evicted.Tag) * itree.LineSize)
-		evBuf := e.bufs[evAddr]
-		delete(e.bufs, evAddr)
+		e.nBufs--
 		if evBuf != nil {
 			if evBuf.dirty {
+				evAddr := dram.Addr(uint64(evicted.Tag) * itree.LineSize)
 				e.writeback(w, evAddr, evBuf)
 			}
 			e.putBuf(evBuf)
@@ -178,11 +181,27 @@ func (e *Engine) bumpLevelCounter(w *walker, level int, idx uint64, slot int) ui
 		panic(fmt.Sprintf("mee: level %d counter overflow (re-key required)", level))
 	}
 	addr := e.geom.LevelLineAddr(level, idx)
-	nb := e.bufs[addr]
+	set := e.CacheSetFor(addr)
+	way, ok := e.cache.WayOf(set, e.cacheTag(addr))
+	if !ok {
+		panic(fmt.Sprintf("mee: counter line %#x vanished during writeback", addr))
+	}
+	nb := e.bufs[e.bufIdx(set, way)]
 	nb.counter.Counters[slot] = pc + 1
 	nb.dirty = true
-	e.cache.MarkDirty(e.CacheSetFor(addr), e.cacheTag(addr))
+	e.cache.MarkDirty(set, e.cacheTag(addr))
 	return pc + 1
+}
+
+// residentBuf returns the node buffer currently holding addr, or nil when
+// the line is not resident. It does not touch replacement state or stats.
+func (e *Engine) residentBuf(addr dram.Addr) *nodeBuf {
+	set := e.CacheSetFor(addr)
+	way, ok := e.cache.WayOf(set, e.cacheTag(addr))
+	if !ok {
+		return nil
+	}
+	return e.bufs[e.bufIdx(set, way)]
 }
 
 // maybeRandomEvict implements the noise-injection mitigation: with
@@ -190,18 +209,25 @@ func (e *Engine) bumpLevelCounter(w *walker, level int, idx uint64, slot int) ui
 // evicted (written back if dirty) before the access proceeds.
 func (e *Engine) maybeRandomEvict(w *walker) {
 	p := e.cfg.RandomEvictProb
-	if p <= 0 || len(e.bufs) == 0 || w.rng.Float64() >= p {
+	if p <= 0 || e.nBufs == 0 || w.rng.Float64() >= p {
 		return
 	}
-	addrs := make([]dram.Addr, 0, len(e.bufs))
-	for a := range e.bufs {
-		addrs = append(addrs, a)
+	// Enumerate residents in ascending address order so the victim draw is
+	// independent of storage layout (the map this replaced was sorted too).
+	addrs := make([]dram.Addr, 0, e.nBufs)
+	for _, nb := range e.bufs {
+		if nb != nil {
+			addrs = append(addrs, nb.addr)
+		}
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	victim := addrs[w.rng.IntN(len(addrs))]
-	nb := e.bufs[victim]
-	e.cache.Invalidate(e.CacheSetFor(victim), e.cacheTag(victim))
-	delete(e.bufs, victim)
+	set := e.CacheSetFor(victim)
+	way, _ := e.cache.InvalidateWay(set, e.cacheTag(victim))
+	idx := e.bufIdx(set, way)
+	nb := e.bufs[idx]
+	e.bufs[idx] = nil
+	e.nBufs--
 	if nb.dirty {
 		prev := w.postedMode
 		w.postedMode = true
@@ -216,10 +242,11 @@ func (e *Engine) maybeRandomEvict(w *walker) {
 // before a line's first writeback), or for tag lines the MACs of the
 // all-zero ciphertext at version zero.
 func (e *Engine) ensureInit(addr dram.Addr) {
-	if e.initialized[addr] {
+	word, mask := e.initBit(addr)
+	if e.initialized[word]&mask != 0 {
 		return
 	}
-	e.initialized[addr] = true
+	e.initialized[word] |= mask
 	kind := e.geom.Classify(addr)
 	switch kind {
 	case itree.KindVersion, itree.KindLevel0, itree.KindLevel1, itree.KindLevel2:
@@ -252,10 +279,10 @@ func (e *Engine) FlushCache(now sim.Cycles, rng *rand.Rand) {
 	// in ascending address order (parents live above children in the PRM)
 	// until nothing dirty remains.
 	for {
-		addrs := make([]dram.Addr, 0, len(e.bufs))
-		for addr, nb := range e.bufs {
-			if nb.dirty {
-				addrs = append(addrs, addr)
+		addrs := make([]dram.Addr, 0, e.nBufs)
+		for _, nb := range e.bufs {
+			if nb != nil && nb.dirty {
+				addrs = append(addrs, nb.addr)
 			}
 		}
 		if len(addrs) == 0 {
@@ -263,7 +290,7 @@ func (e *Engine) FlushCache(now sim.Cycles, rng *rand.Rand) {
 		}
 		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 		for _, addr := range addrs {
-			nb := e.bufs[addr]
+			nb := e.residentBuf(addr)
 			if nb == nil || !nb.dirty {
 				continue // already handled by a cascaded eviction
 			}
@@ -272,8 +299,11 @@ func (e *Engine) FlushCache(now sim.Cycles, rng *rand.Rand) {
 		}
 	}
 	e.cache.FlushAll()
-	for _, nb := range e.bufs {
-		e.putBuf(nb)
+	for i, nb := range e.bufs {
+		if nb != nil {
+			e.putBuf(nb)
+			e.bufs[i] = nil
+		}
 	}
-	clear(e.bufs)
+	e.nBufs = 0
 }

@@ -88,12 +88,24 @@ type Platform struct {
 	caches *cpucache.Hierarchy
 	epc    *enclave.EPCAllocator
 
-	genUsed map[dram.Addr]bool // general-region frames handed out
+	genUsed []uint64 // bitset over general-region 4 KB frames handed out
 	prmBase dram.Addr
 	procs   []*Process
 	nextEID int
 	nextPID int
 	rng     *rand.Rand
+}
+
+// genFrameUsed reports whether the general-region frame at f was handed out.
+func (p *Platform) genFrameUsed(f dram.Addr) bool {
+	i := uint64(f) / enclave.PageBytes
+	return p.genUsed[i/64]&(1<<(i%64)) != 0
+}
+
+// markGenFrame records the general-region frame at f as handed out.
+func (p *Platform) markGenFrame(f dram.Addr) {
+	i := uint64(f) / enclave.PageBytes
+	p.genUsed[i/64] |= 1 << (i % 64)
 }
 
 // New boots a machine from cfg. It panics on inconsistent configuration —
@@ -131,7 +143,7 @@ func New(cfg Config) *Platform {
 		mee:     mee.New(cfg.MEE, geom, itree.NewCrypto(master), mem),
 		caches:  cpucache.New(cfg.CPU, cache.NewLRU()),
 		epc:     enclave.NewEPCAllocator(prmBase, cfg.EPCSize, cfg.EPCMode, rng),
-		genUsed: make(map[dram.Addr]bool),
+		genUsed: make([]uint64, (uint64(prmBase)/enclave.PageBytes+63)/64),
 		prmBase: prmBase,
 		rng:     rng,
 	}
@@ -187,8 +199,8 @@ func (p *Platform) allocGeneralFrame() dram.Addr {
 	nFrames := uint64(p.prmBase) / enclave.PageBytes
 	for {
 		f := dram.Addr(p.rng.Uint64N(nFrames) * enclave.PageBytes)
-		if !p.genUsed[f] {
-			p.genUsed[f] = true
+		if !p.genFrameUsed(f) {
+			p.markGenFrame(f)
 			return f
 		}
 	}
@@ -202,7 +214,7 @@ func (p *Platform) allocHugeFrame() dram.Addr {
 		base := dram.Addr(p.rng.Uint64N(nHuge) * HugepageBytes)
 		free := true
 		for off := 0; off < HugepageBytes; off += enclave.PageBytes {
-			if p.genUsed[base+dram.Addr(off)] {
+			if p.genFrameUsed(base + dram.Addr(off)) {
 				free = false
 				break
 			}
@@ -211,7 +223,7 @@ func (p *Platform) allocHugeFrame() dram.Addr {
 			continue
 		}
 		for off := 0; off < HugepageBytes; off += enclave.PageBytes {
-			p.genUsed[base+dram.Addr(off)] = true
+			p.markGenFrame(base + dram.Addr(off))
 		}
 		return base
 	}

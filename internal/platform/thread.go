@@ -62,6 +62,45 @@ func (p *Platform) SpawnThreadAt(name string, pr *Process, core int, start sim.C
 	return th
 }
 
+// ThreadState is the portable execution state of a thread at a quiescent
+// point (its actor has finished and the next one will be spawned later,
+// possibly on a forked platform). It deliberately excludes the simulated
+// clock — the caller decides the resume cycle — and the owning process,
+// which is re-bound by index on the target platform.
+type ThreadState struct {
+	Core         int
+	EnclaveMode  bool
+	PendingStall sim.Cycles
+	TimerDrift   sim.Cycles
+	TimerJitter  float64
+}
+
+// State captures the thread's portable execution state for ResumeThread.
+func (t *Thread) State() ThreadState {
+	return ThreadState{
+		Core:         t.core,
+		EnclaveMode:  t.enclaveMode,
+		PendingStall: t.pendingStall,
+		TimerDrift:   t.timerDrift,
+		TimerJitter:  t.timerJitter,
+	}
+}
+
+// ResumeThread spawns a thread of pr at cycle `start` carrying saved state:
+// it begins already in enclave mode if the original was (no EnterExitCost
+// is charged — the original paid it), with pending stalls and timer
+// perturbations restored. This is how warm-state forks continue a thread on
+// a forked platform: capture State() when the warm actor finishes, Fork the
+// platform, then ResumeThread the continuation at the same cycle.
+func (p *Platform) ResumeThread(name string, pr *Process, start sim.Cycles, st ThreadState, body func(*Thread)) *Thread {
+	th := p.SpawnThreadAt(name, pr, st.Core, start, body)
+	th.enclaveMode = st.EnclaveMode
+	th.pendingStall = st.PendingStall
+	th.timerDrift = st.TimerDrift
+	th.timerJitter = st.TimerJitter
+	return th
+}
+
 // Core returns the core this thread is currently scheduled on.
 func (t *Thread) Core() int { return t.core }
 

@@ -16,22 +16,24 @@ type Actor struct {
 	panicVal   any
 	panicStack []byte
 	resume     chan struct{}
-	parked     chan struct{}
 	engine     *Engine
 	proc       *Proc
 	heapIdx    int // position in the engine's scheduling heap; -1 if detached
 	track      obs.TrackID
 
-	// Run-ahead state, written by the engine before each resume and
-	// consumed by Proc.yield (the resume channel orders the accesses):
-	// the actor keeps executing operations locally while its next
-	// operation is still scheduled before (horizonClock, horizonID) and
-	// within runLimit. lastStart is the start clock of the last committed
-	// operation, which Run reports.
+	// Run-ahead state, written by whichever goroutine resumes the actor
+	// (the engine loop or a peer handing off directly) before signalling
+	// resume, and consumed by Proc.yield (the resume channel orders the
+	// accesses): the actor keeps executing operations locally while its
+	// next operation is still scheduled before (horizonClock, horizonID)
+	// and within runLimit. lastStart is the start clock of the last
+	// committed operation, which Run reports; batchStart is the clock at
+	// resume, for the tracer's batch slices.
 	horizonClock Cycles
 	horizonID    int
 	runLimit     Cycles
 	lastStart    Cycles
+	batchStart   Cycles
 }
 
 // Name returns the actor's diagnostic name.
@@ -44,12 +46,14 @@ func (a *Actor) Clock() Cycles { return a.clock }
 func (a *Actor) Done() bool { return a.done }
 
 // run is the goroutine wrapper around the actor body. The goroutine blocks
-// until the engine resumes it for the first time, executes the body, and
-// reports completion. Panics other than the engine's kill sentinel are
-// captured — value and actor-side stack — and re-raised on the engine side
-// as a *PanicError.
+// until it is resumed for the first time, executes the body, and reports
+// completion — handing control straight to the next-due actor when it can,
+// waking the engine loop otherwise. Panics other than the engine's kill
+// sentinel are captured — value and actor-side stack — and re-raised on the
+// engine side as a *PanicError.
 func (a *Actor) run(body func(*Proc)) {
 	defer func() {
+		e := a.engine
 		if r := recover(); r != nil {
 			if _, isKill := r.(killSentinel); !isKill {
 				a.panicVal = r
@@ -57,7 +61,15 @@ func (a *Actor) run(body func(*Proc)) {
 			}
 		}
 		a.done = true
-		a.parked <- struct{}{}
+		if !e.killed {
+			e.endBatch(a)
+			// A panicking actor must wake the engine loop, which owns
+			// re-raising the panic as a *PanicError.
+			if a.panicVal == nil && e.handoff(a) {
+				return
+			}
+		}
+		e.parkedCh <- a
 	}()
 	<-a.resume
 	if a.engine.killed {
@@ -66,13 +78,13 @@ func (a *Actor) run(body func(*Proc)) {
 	body(a.proc)
 }
 
-// step resumes the actor for one batch of operations (one yield-to-park
-// stretch — a single operation under the reference scheduler, up to the
-// run-ahead horizon otherwise) and waits for it to park again. Called only
-// by the engine.
+// step resumes the actor for one batch of operations and waits for control
+// to come back. Used only by Close, with the kill flag already set, so the
+// actor unwinds immediately and no direct handoff can occur — the parked
+// actor is always a itself.
 func (a *Actor) step() {
 	a.resume <- struct{}{}
-	<-a.parked
+	<-a.engine.parkedCh
 }
 
 // Proc is the handle an actor body uses to interact with simulated time.
@@ -114,24 +126,32 @@ func (p *Proc) SleepUntil(t Cycles) {
 }
 
 // yield ends the current operation. If the actor's next operation is still
-// scheduled before every other live actor (the engine-provided run-ahead
-// horizon) and within the current Run limit, the actor continues executing
-// locally — no park, no channel handoff. Otherwise it parks and blocks until
-// the engine resumes it. If the engine is tearing down, the actor unwinds
-// via the kill sentinel.
+// scheduled before every other live actor (the run-ahead horizon) and within
+// the current Run limit, the actor continues executing locally — no park, no
+// channel handoff. Otherwise its batch is over: it commits the batch
+// bookkeeping, hands control straight to the next-due actor when the chain
+// may continue (waking the engine loop only at a Run boundary), and blocks
+// until resumed. If the engine is tearing down, the actor unwinds via the
+// kill sentinel.
 func (p *Proc) yield() {
 	a := p.actor
-	if !a.engine.killed {
+	e := a.engine
+	if !e.killed {
 		c := a.clock
 		if (a.runLimit < 0 || c <= a.runLimit) &&
 			schedBefore(c, a.id, a.horizonClock, a.horizonID) {
 			a.lastStart = c
 			return
 		}
+		e.endBatch(a)
+		if !e.handoff(a) {
+			e.parkedCh <- a
+		}
+	} else {
+		e.parkedCh <- a
 	}
-	a.parked <- struct{}{}
 	<-a.resume
-	if a.engine.killed {
+	if e.killed {
 		panic(killSentinel{})
 	}
 }

@@ -62,10 +62,18 @@ type Engine struct {
 	actors  []*Actor
 	heap    []*Actor // live actors, indexed min-heap on (clock, spawn id)
 	rng     *rand.Rand
+	pcg     *rand.PCG // rng's source, retained so RNGSnapshot can serialize it
 	running *Actor // actor currently executing inside Run/Close
 	killed  bool
 	closed  bool
 	linear  bool // reference scheduler: linear scan, single-step resumes
+
+	// parkedCh is how control returns to the engine loop: the actor that
+	// ends a handoff chain (no further live actor within the Run limit, a
+	// panic, or teardown) sends itself. Exactly one goroutine — the engine
+	// or a single actor — executes at any time, so the channel never sees
+	// concurrent senders.
+	parkedCh chan *Actor
 
 	// Observability (all nil/zero when disabled; see Observe). cOps and
 	// cBusy are schedule-invariant; cResumes and cTrunc count scheduler
@@ -84,10 +92,44 @@ type Engine struct {
 // NewEngine returns an engine whose random stream is derived from seed.
 // The same seed always produces the same simulation.
 func NewEngine(seed uint64) *Engine {
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
 	return &Engine{
-		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
-		linear: forceLinear.Load(),
+		rng:      rand.New(pcg),
+		pcg:      pcg,
+		linear:   forceLinear.Load(),
+		parkedCh: make(chan *Actor),
 	}
+}
+
+// RNGSnapshot serializes the engine's random-stream state. Because actors
+// execute in a deterministic global order, the state after running to a
+// quiescent point is itself deterministic; NewEngineResumed continues the
+// stream exactly where this engine left off. rand/v2's Rand buffers nothing
+// outside its source, so the PCG state is the complete stream state.
+func (e *Engine) RNGSnapshot() []byte {
+	state, err := e.pcg.MarshalBinary()
+	if err != nil {
+		// PCG.MarshalBinary cannot fail; keep the invariant loud.
+		panic(fmt.Sprintf("sim: PCG marshal: %v", err))
+	}
+	return state
+}
+
+// NewEngineResumed returns a fresh engine (no actors, clock history empty)
+// whose random stream continues from a state captured by RNGSnapshot.
+// Spawning actors at their pre-capture clocks reproduces the schedule a
+// single engine would have executed past the capture point.
+func NewEngineResumed(rngState []byte) (*Engine, error) {
+	pcg := &rand.PCG{}
+	if err := pcg.UnmarshalBinary(rngState); err != nil {
+		return nil, fmt.Errorf("sim: resuming RNG state: %w", err)
+	}
+	return &Engine{
+		rng:      rand.New(pcg),
+		pcg:      pcg,
+		linear:   forceLinear.Load(),
+		parkedCh: make(chan *Actor),
+	}, nil
 }
 
 // Rand exposes the engine's seeded random source. Because actors execute in
@@ -139,7 +181,6 @@ func (e *Engine) SpawnAt(name string, start Cycles, body func(*Proc)) *Actor {
 		clock:   start,
 		heapIdx: -1,
 		resume:  make(chan struct{}),
-		parked:  make(chan struct{}),
 		engine:  e,
 	}
 	a.proc = &Proc{actor: a}
@@ -178,6 +219,67 @@ func (e *Engine) pickLinear() *Actor {
 	return best
 }
 
+// beginBatch arms a for a resume: run-ahead horizon, Run limit, batch
+// bookkeeping. The caller (the engine loop, or a peer actor handing off)
+// signals a.resume afterwards. Valid only when a is the scheduled-first
+// live actor, so heapSecond is the horizon owner.
+func (e *Engine) beginBatch(a *Actor, limit Cycles) {
+	if e.linear {
+		// Horizon in the past: the actor parks after every operation.
+		a.horizonClock, a.horizonID = -1, 0
+	} else if h := e.heapSecond(); h != nil {
+		a.horizonClock, a.horizonID = h.clock, h.id
+	} else {
+		a.horizonClock, a.horizonID = maxCycles, int(^uint(0)>>1)
+	}
+	a.runLimit = limit
+	a.lastStart = a.clock
+	a.batchStart = a.clock
+	e.running = a
+	e.cResumes.Inc()
+}
+
+// endBatch commits a's batch bookkeeping once its body stops executing
+// operations: the tracer slice, the clock sample, and a's heap position.
+// Runs on a's own goroutine — safe because execution is serialized.
+func (e *Engine) endBatch(a *Actor) {
+	e.running = nil
+	if e.tracer != nil {
+		e.tracer.Slice(a.track, e.nBatch, int64(a.batchStart), int64(a.clock-a.batchStart))
+	}
+	e.lastNow = a.lastStart
+	if a.done {
+		e.heapRemove(a)
+	} else {
+		e.heapFix(a)
+	}
+}
+
+// handoff transfers control straight from a (whose batch just ended) to the
+// next-due actor without waking the engine loop, and reports whether it did.
+// It declines — and the caller parks to the engine instead — under the
+// reference scheduler, at a Run boundary (no live actor, or the next one is
+// past the limit), or when a itself is still scheduled first (its next
+// operation merely crossed the Run limit). The next actor, horizon, and
+// limit are computed exactly as the engine loop would, so the global
+// operation order is unchanged — only the channel round-trip through the
+// engine goroutine is elided.
+func (e *Engine) handoff(a *Actor) bool {
+	if e.linear {
+		return false
+	}
+	next := e.heapMin()
+	if next == nil || next == a {
+		return false
+	}
+	if a.runLimit >= 0 && next.clock > a.runLimit {
+		return false
+	}
+	e.beginBatch(next, a.runLimit)
+	next.resume <- struct{}{}
+	return true
+}
+
 // Run advances the simulation until every actor has finished or the next
 // runnable actor's clock exceeds limit. A negative limit means "no limit"
 // (run until all actors finish). It returns the clock of the last executed
@@ -186,11 +288,13 @@ func (e *Engine) pickLinear() *Actor {
 //
 // Each resume hands the chosen actor a run-ahead horizon — the schedule
 // position of the next other live actor. The actor executes operations
-// locally (no engine round-trip) for as long as it stays ahead of that
-// horizon and within limit, which collapses the four channel handoffs per
-// operation into four per batch. Because every operation it commits would
-// have been chosen next by the single-step scheduler anyway, the global
-// operation order — and thus every artifact byte — is unchanged.
+// locally (no handoff at all) for as long as it stays ahead of that horizon
+// and within limit; when its batch ends it hands control directly to the
+// next-due actor, so the engine goroutine sleeps for whole chains of
+// batches and wakes only at Run boundaries. Because every operation is
+// committed in exactly the order the single-step scheduler would have
+// chosen, the global operation order — and thus every artifact byte — is
+// unchanged.
 func (e *Engine) Run(limit Cycles) Cycles {
 	if e.closed {
 		panic("sim: Run on closed engine")
@@ -209,35 +313,16 @@ func (e *Engine) Run(limit Cycles) Cycles {
 		if limit >= 0 && a.clock > limit {
 			break
 		}
-		if e.linear {
-			// Horizon in the past: the actor parks after every operation.
-			a.horizonClock, a.horizonID = -1, 0
-		} else if h := e.heapSecond(); h != nil {
-			a.horizonClock, a.horizonID = h.clock, h.id
-		} else {
-			a.horizonClock, a.horizonID = maxCycles, int(^uint(0)>>1)
-		}
-		a.runLimit = limit
-		a.lastStart = a.clock
-		e.running = a
-		e.cResumes.Inc()
-		batchStart := a.clock
-		a.step()
-		e.running = nil
-		if e.tracer != nil {
-			e.tracer.Slice(a.track, e.nBatch, int64(batchStart), int64(a.clock-batchStart))
-		}
-		now = a.lastStart
-		e.lastNow = now
-		if a.done {
-			e.heapRemove(a)
-		} else {
-			e.heapFix(a)
-		}
-		if a.panicVal != nil {
-			pv, stack := a.panicVal, a.panicStack
-			a.panicVal, a.panicStack = nil, nil
-			panic(&PanicError{Actor: a.name, Value: pv, Stack: stack})
+		e.beginBatch(a, limit)
+		a.resume <- struct{}{}
+		// Batch bookkeeping for every actor in the chain — including end —
+		// already ran actor-side in endBatch.
+		end := <-e.parkedCh
+		now = end.lastStart
+		if end.panicVal != nil {
+			pv, stack := end.panicVal, end.panicStack
+			end.panicVal, end.panicStack = nil, nil
+			panic(&PanicError{Actor: end.name, Value: pv, Stack: stack})
 		}
 	}
 	return now
