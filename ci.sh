@@ -93,6 +93,12 @@ for target in FuzzDecodeNeverPanics FuzzDecodeTruncatedStream; do
     go test ./internal/code -run '^$' -fuzz "$target" -fuzztime 5s
 done
 
+echo "== fuzz smoke: internal/snapstore =="
+# Snapshot blobs come off disk, where truncation and bit rot are real:
+# damaged bytes must come back as errors, never panics or silently wrong
+# machines.
+go test ./internal/snapstore -run '^$' -fuzz FuzzSnapshotCodec -fuzztime 5s
+
 echo "== smoke: meecc batch =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -100,6 +106,20 @@ go run ./cmd/meecc batch -spec examples/specs/smoke.json -out "$tmp"
 for f in smoke.json smoke.manifest.json; do
     test -s "$tmp/$f" || { echo "missing artifact $f" >&2; exit 1; }
 done
+
+echo "== smoke: meecc serve/submit =="
+# The experiment service's determinism contract, end to end over real HTTP:
+# an artifact served by `meecc serve` is byte-identical to the one the local
+# batch run above produced for the same spec.
+go build -o "$tmp/meecc" ./cmd/meecc
+"$tmp/meecc" serve -addr 127.0.0.1:8391 -storedir "$tmp/snapstore" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+"$tmp/meecc" submit -spec examples/specs/smoke.json -addr 127.0.0.1:8391 -out "$tmp/served"
+kill "$serve_pid"
+trap 'rm -rf "$tmp"' EXIT
+cmp "$tmp/served/smoke.json" "$tmp/smoke.json" || {
+    echo "served artifact differs from local batch artifact" >&2; exit 1; }
 
 echo "== smoke: traced fig6b =="
 # One traced end-to-end transmission: the exported Chrome trace must pass

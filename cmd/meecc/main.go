@@ -16,6 +16,17 @@
 //	meecc timing   [-seed N]                   # §3 time sources
 //	meecc activity [-seed N]                   # victim-activity inference
 //	meecc inspect  FILE                        # render a snapshot/trace/artifact
+//	meecc serve    [-addr HOST:PORT] [-storedir DIR] [-storemax BYTES] [-workers N]
+//	meecc submit   -spec FILE [-addr HOST:PORT] [-out DIR]
+//	meecc hash     -spec FILE                  # print the spec's content hash
+//
+// serve runs the experiment service: POST /v1/runs accepts a spec, GET
+// /v1/runs/{id}/events streams NDJSON progress, GET /v1/runs/{id}/artifact
+// returns the finished artifact (byte-identical to a local batch run of the
+// same spec). Completed trials are memoized by content hash, and with
+// -storedir warm channel state persists on disk across submissions and
+// restarts. submit is the matching client: it posts a spec, follows the
+// event stream, and writes the artifact under -out.
 //
 // Noise kinds: none, memory, mee512, mee4k. Policies: lru (default),
 // tree-plru, bit-plru, fifo, random, nru, srrip.
@@ -83,6 +94,10 @@ var (
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 
+	addr     = flag.String("addr", "127.0.0.1:8311", "listen/target address for serve/submit")
+	storeDir = flag.String("storedir", "", "snapstore directory for serve's warm-state disk tier (empty = in-memory only)")
+	storeMax = flag.Int64("storemax", 0, "snapstore size bound in bytes (0 = unbounded)")
+
 	metricsOn  = flag.Bool("metrics", false, "collect metrics and print a report after the run")
 	metricsOut = flag.String("metricsout", "", "write the metrics snapshot JSON to this file")
 	tracePath  = flag.String("trace", "", "write a timeline trace to this file (.csv = compact CSV, anything else = Chrome trace-event JSON for Perfetto)")
@@ -110,10 +125,13 @@ func main() {
 		"timing":   runTiming,
 		"activity": runActivity,
 		"inspect":  runInspect,
+		"serve":    runServe,
+		"submit":   runSubmit,
+		"hash":     runHash,
 	}
 	run, ok := cmds[cmd]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity, inspect)\n", cmd)
+		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity, inspect, serve, submit, hash)\n", cmd)
 		os.Exit(2)
 	}
 	stopProfiles, err := startProfiles()

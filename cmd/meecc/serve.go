@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"meecc/internal/exp"
+	"meecc/internal/serve"
+)
+
+// runServe starts the experiment service on -addr and blocks until SIGINT/
+// SIGTERM, then drains connections and flushes -metrics/-metricsout output.
+func runServe() error {
+	o := observer()
+	srv, err := serve.New(serve.Config{
+		Workers:       *workers,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMax,
+		Obs:           o,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	idle := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		signal.Stop(sigCh)
+		fmt.Fprintln(os.Stderr, "\nmeecc serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		close(idle)
+	}()
+	fmt.Printf("meecc serve: listening on http://%s (store: %s)\n", *addr, storeDesc())
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		return err
+	}
+	<-idle
+	return finishObs(o)
+}
+
+func storeDesc() string {
+	if *storeDir == "" {
+		return "in-memory only"
+	}
+	return *storeDir
+}
+
+// runSubmit posts -spec to a running service, follows the run's NDJSON
+// event stream, and writes the artifact under -out — the remote counterpart
+// of `meecc batch`, producing byte-identical artifact files.
+func runSubmit() error {
+	if *specPath == "" {
+		return fmt.Errorf("submit requires -spec FILE (see examples/specs/)")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := exp.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	resp, err := postWithRetry(base+"/v1/runs", data)
+	if err != nil {
+		return err
+	}
+	info, err := decodeInfo(resp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run %s (spec %s)\n", info.ID, info.SpecSHA256[:12])
+
+	if err := followEvents(base+info.Events, spec.Name); err != nil {
+		return err
+	}
+
+	art, err := http.Get(base + info.Artifact)
+	if err != nil {
+		return err
+	}
+	defer art.Body.Close()
+	body, err := io.ReadAll(art.Body)
+	if err != nil {
+		return err
+	}
+	if art.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching artifact: %s: %s", art.Status, bytes.TrimSpace(body))
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(*outDir, spec.Name+".json")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("artifact: %s\n", path)
+	return nil
+}
+
+// postWithRetry retries refused connections for a few seconds, so a submit
+// raced against a just-started server (the CI smoke test) settles instead of
+// failing. HTTP-level errors are not retried — the server answered.
+func postWithRetry(url string, body []byte) (*http.Response, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil {
+			return resp, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("connecting to %s: %w", url, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func decodeInfo(resp *http.Response) (*runInfo, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("submitting spec: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var info runInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("decoding submit response: %w", err)
+	}
+	return &info, nil
+}
+
+// runInfo mirrors the service's submit/status response.
+type runInfo struct {
+	ID         string `json:"id"`
+	SpecSHA256 string `json:"spec_sha256"`
+	Events     string `json:"events"`
+	Artifact   string `json:"artifact"`
+}
+
+// followEvents renders the NDJSON stream as progress lines and returns an
+// error if the run ends in an error event.
+func followEvents(url, name string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev struct {
+			Type           string `json:"type"`
+			Done, Total    int
+			CellsDone      int `json:"cells_done"`
+			Cells          int
+			Failures       int
+			TrialsExecuted int64  `json:"trials_executed"`
+			TrialsMemoized int64  `json:"trials_memoized"`
+			Error          string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("decoding event %q: %w", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "progress":
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials, %d/%d cells   ", name, ev.Done, ev.Total, ev.CellsDone, ev.Cells)
+		case "done":
+			fmt.Fprintf(os.Stderr, "\r%s: done (%d failures; service totals: %d executed, %d memoized)\n",
+				name, ev.Failures, ev.TrialsExecuted, ev.TrialsMemoized)
+			return nil
+		case "error":
+			fmt.Fprintln(os.Stderr)
+			return fmt.Errorf("run failed: %s", ev.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("event stream: %w", err)
+	}
+	return fmt.Errorf("event stream ended without a terminal event")
+}
+
+// runHash prints the spec's content hash — the identity under which the
+// serve service memoizes it and manifests record it.
+func runHash() error {
+	if *specPath == "" {
+		return fmt.Errorf("hash requires -spec FILE")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := exp.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	fmt.Println(spec.Hash())
+	return nil
+}

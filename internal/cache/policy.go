@@ -28,6 +28,35 @@ type SetState interface {
 	// that draw randomness (random, nru) bind the copy to rng so the fork
 	// consumes its own engine's stream; deterministic policies ignore it.
 	Clone(rng *rand.Rand) SetState
+	// SaveWords flattens the replacement state into a word vector for
+	// serialization. LoadWords restores it into a state freshly built by the
+	// same policy with the same associativity; it rejects vectors whose
+	// length does not match what SaveWords produces. Random sources are not
+	// part of the vector — they are rebound by Clone at fork time.
+	SaveWords() []uint64
+	LoadWords(ws []uint64) error
+}
+
+// wordLenError reports a SaveWords/LoadWords length mismatch.
+func wordLenError(policy string, got, want int) error {
+	return fmt.Errorf("cache: %s state: %d words, want %d", policy, got, want)
+}
+
+// boolsToWords packs one bool per word (0/1); wordsToBools reverses it.
+func boolsToWords(bs []bool) []uint64 {
+	ws := make([]uint64, len(bs))
+	for i, b := range bs {
+		if b {
+			ws[i] = 1
+		}
+	}
+	return ws
+}
+
+func wordsToBools(dst []bool, ws []uint64) {
+	for i, w := range ws {
+		dst[i] = w != 0
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -65,6 +94,17 @@ func (s *lruState) Clone(*rand.Rand) SetState {
 	copy(c.stamp, s.stamp)
 	return c
 }
+func (s *lruState) SaveWords() []uint64 {
+	return append([]uint64{s.tick}, s.stamp...)
+}
+func (s *lruState) LoadWords(ws []uint64) error {
+	if len(ws) != 1+len(s.stamp) {
+		return wordLenError("lru", len(ws), 1+len(s.stamp))
+	}
+	s.tick = ws[0]
+	copy(s.stamp, ws[1:])
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // FIFO
@@ -101,6 +141,17 @@ func (s *fifoState) Clone(*rand.Rand) SetState {
 	c := &fifoState{stamp: make([]uint64, len(s.stamp)), tick: s.tick}
 	copy(c.stamp, s.stamp)
 	return c
+}
+func (s *fifoState) SaveWords() []uint64 {
+	return append([]uint64{s.tick}, s.stamp...)
+}
+func (s *fifoState) LoadWords(ws []uint64) error {
+	if len(ws) != 1+len(s.stamp) {
+		return wordLenError("fifo", len(ws), 1+len(s.stamp))
+	}
+	s.tick = ws[0]
+	copy(s.stamp, ws[1:])
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +226,14 @@ func (s *treePLRUState) Clone(*rand.Rand) SetState {
 	copy(c.bits, s.bits)
 	return c
 }
+func (s *treePLRUState) SaveWords() []uint64 { return boolsToWords(s.bits) }
+func (s *treePLRUState) LoadWords(ws []uint64) error {
+	if len(ws) != len(s.bits) {
+		return wordLenError("tree-plru", len(ws), len(s.bits))
+	}
+	wordsToBools(s.bits, ws)
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // Bit-PLRU (MRU bits)
@@ -220,6 +279,14 @@ func (s *bitPLRUState) Clone(*rand.Rand) SetState {
 	copy(c.mru, s.mru)
 	return c
 }
+func (s *bitPLRUState) SaveWords() []uint64 { return boolsToWords(s.mru) }
+func (s *bitPLRUState) LoadWords(ws []uint64) error {
+	if len(ws) != len(s.mru) {
+		return wordLenError("bit-plru", len(ws), len(s.mru))
+	}
+	wordsToBools(s.mru, ws)
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // Random
@@ -250,6 +317,13 @@ func (s *randomState) Clone(rng *rand.Rand) SetState {
 		rng = s.rng // no rebind requested: keep drawing from the original
 	}
 	return &randomState{ways: s.ways, rng: rng}
+}
+func (s *randomState) SaveWords() []uint64 { return nil }
+func (s *randomState) LoadWords(ws []uint64) error {
+	if len(ws) != 0 {
+		return wordLenError("random", len(ws), 0)
+	}
+	return nil
 }
 
 // PolicyByName constructs a policy from its name; random and nru need rng

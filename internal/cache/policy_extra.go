@@ -60,6 +60,14 @@ func (s *nruState) Clone(rng *rand.Rand) SetState {
 	copy(c.ref, s.ref)
 	return c
 }
+func (s *nruState) SaveWords() []uint64 { return boolsToWords(s.ref) }
+func (s *nruState) LoadWords(ws []uint64) error {
+	if len(ws) != len(s.ref) {
+		return wordLenError("nru", len(ws), len(s.ref))
+	}
+	wordsToBools(s.ref, ws)
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // SRRIP (static re-reference interval prediction, Jaleel et al. ISCA 2010):
@@ -104,6 +112,25 @@ func (s *srripState) Clone(*rand.Rand) SetState {
 	c := &srripState{rrpv: make([]uint8, len(s.rrpv))}
 	copy(c.rrpv, s.rrpv)
 	return c
+}
+func (s *srripState) SaveWords() []uint64 {
+	ws := make([]uint64, len(s.rrpv))
+	for i, v := range s.rrpv {
+		ws[i] = uint64(v)
+	}
+	return ws
+}
+func (s *srripState) LoadWords(ws []uint64) error {
+	if len(ws) != len(s.rrpv) {
+		return wordLenError("srrip", len(ws), len(s.rrpv))
+	}
+	for i, w := range ws {
+		if w > srripMax {
+			return fmt.Errorf("cache: srrip state: rrpv %d out of range", w)
+		}
+		s.rrpv[i] = uint8(w)
+	}
+	return nil
 }
 
 // extendedPolicyByName resolves the additional policies; see PolicyByName.

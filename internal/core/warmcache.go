@@ -4,6 +4,9 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"meecc/internal/snapstore"
 )
 
 // WarmCache memoizes ChannelWarmState values by the parameters the warm
@@ -14,21 +17,31 @@ import (
 // trial hits or misses the cache is invisible in the results.
 //
 // Each entry pins a platform snapshot (roughly one warmed platform's
-// memory), so the cache is bounded: beyond capacity the least recently used
-// entry is dropped and would be rebuilt — deterministically — on a later
-// miss. The harness dispatches shared-seed jobs back to back, so a small
-// capacity captures all the reuse.
+// memory), so the in-memory tier is bounded: beyond capacity the least
+// recently used entry is dropped. With a snapstore attached (AttachStore)
+// the cache grows a second, disk tier: evicted entries are spilled to the
+// store as sealed warm-state blobs instead of discarded, and a later miss
+// faults the state back in from disk — decode of a spilled state forks
+// bit-identically to the in-memory original, so the tier swap is invisible
+// too. The disk tier is itself capacity-bounded by the store's size bound.
 type WarmCache struct {
 	mu  sync.Mutex
 	cap int
 	m   map[string]*warmEntry
 	lru *list.List // front = most recently used; values are *warmEntry
+
+	store *snapstore.Store
+
+	computes   atomic.Int64
+	diskLoads  atomic.Int64
+	diskSpills atomic.Int64
 }
 
 type warmEntry struct {
 	key  string
 	elem *list.Element
 	once sync.Once
+	done atomic.Bool // set after once completes; guards ws/err for spillers
 	ws   *ChannelWarmState
 	err  error
 }
@@ -40,6 +53,33 @@ func NewWarmCache(capacity int) *WarmCache {
 		capacity = 16
 	}
 	return &WarmCache{cap: capacity, m: map[string]*warmEntry{}, lru: list.New()}
+}
+
+// AttachStore enables the disk tier backed by st. Call before handing the
+// cache to workers; states spilled by earlier processes with compatible keys
+// are faulted in transparently.
+func (c *WarmCache) AttachStore(st *snapstore.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = st
+}
+
+// WarmCacheStats counts the cache's slow paths: Computes is how many times a
+// warm phase was actually executed, DiskLoads how many misses were served
+// from the disk tier instead, DiskSpills how many evictions were persisted.
+type WarmCacheStats struct {
+	Computes   int64
+	DiskLoads  int64
+	DiskSpills int64
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *WarmCache) Stats() WarmCacheStats {
+	return WarmCacheStats{
+		Computes:   c.computes.Load(),
+		DiskLoads:  c.diskLoads.Load(),
+		DiskSpills: c.diskSpills.Load(),
+	}
 }
 
 // warmKey identifies a warm phase: everything WarmChannel's product depends
@@ -55,16 +95,25 @@ func warmKey(cfg ChannelConfig) string {
 		cfg.CalBudget, cfg.SetupBudget, cfg.SearchBudget)
 }
 
-// Warm returns the cached warm state for cfg's warm parameters, running
-// WarmChannel on first use. Concurrent callers with the same key share one
-// warm-up; callers with different keys warm in parallel. Errors are cached
-// too (a machine whose warm phase fails, fails the same way every time).
+// diskKey maps a warm key to its content address in the store. The warm key
+// already encodes the machine config, seed, and warm-up schedule, so equal
+// addresses mean byte-identical warm phases.
+func diskKey(warmKey string) string {
+	return snapstore.Key("warm-channel", warmKey)
+}
+
+// Warm returns the cached warm state for cfg's warm parameters, faulting it
+// in from the disk tier or running WarmChannel on first use. Concurrent
+// callers with the same key share one warm-up; callers with different keys
+// warm in parallel. Errors are cached too (a machine whose warm phase fails,
+// fails the same way every time).
 func (c *WarmCache) Warm(cfg ChannelConfig) (*ChannelWarmState, error) {
 	cfg.applyDefaults()
 	if err := warmRestriction(cfg); err != nil {
 		return nil, err
 	}
 	key := warmKey(cfg)
+	var evicted []*warmEntry
 	c.mu.Lock()
 	e, ok := c.m[key]
 	if ok {
@@ -78,9 +127,58 @@ func (c *WarmCache) Warm(cfg ChannelConfig) (*ChannelWarmState, error) {
 			evict := oldest.Value.(*warmEntry)
 			c.lru.Remove(oldest)
 			delete(c.m, evict.key)
+			evicted = append(evicted, evict)
 		}
 	}
+	store := c.store
 	c.mu.Unlock()
-	e.once.Do(func() { e.ws, e.err = WarmChannel(cfg) })
+	for _, ev := range evicted {
+		c.spill(store, ev)
+	}
+	e.once.Do(func() {
+		defer e.done.Store(true)
+		if ws, ok := c.faultIn(store, key); ok {
+			e.ws = ws
+			return
+		}
+		c.computes.Add(1)
+		e.ws, e.err = WarmChannel(cfg)
+	})
 	return e.ws, e.err
+}
+
+// spill persists an evicted entry to the disk tier. Entries still computing,
+// failed warm-ups, and encode or store errors are dropped silently — the
+// state is rebuilt deterministically on a later miss, so spilling is purely
+// an optimization.
+func (c *WarmCache) spill(store *snapstore.Store, e *warmEntry) {
+	if store == nil || !e.done.Load() || e.err != nil || e.ws == nil {
+		return
+	}
+	blob, err := e.ws.Encode()
+	if err != nil {
+		return
+	}
+	if store.Put(diskKey(e.key), blob) == nil {
+		c.diskSpills.Add(1)
+	}
+}
+
+// faultIn tries to serve a miss from the disk tier. Any failure — absent,
+// evicted by the store's own size bound, or corrupt (the seal's checksum
+// rejects damage) — falls back to recomputing.
+func (c *WarmCache) faultIn(store *snapstore.Store, key string) (*ChannelWarmState, bool) {
+	if store == nil {
+		return nil, false
+	}
+	blob, err := store.Get(diskKey(key))
+	if err != nil {
+		return nil, false
+	}
+	ws, err := DecodeWarmState(blob)
+	if err != nil {
+		return nil, false
+	}
+	c.diskLoads.Add(1)
+	return ws, true
 }

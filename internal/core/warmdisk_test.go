@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"meecc/internal/sim"
+	"meecc/internal/snapstore"
+)
+
+// TestWarmStateDiskRoundTrip is the warm-tier determinism proof: a warm
+// state decoded from its sealed blob runs transmissions DeepEqual to the
+// in-memory original's, for several transmit configs off one warm phase.
+func TestWarmStateDiskRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full channel runs in -short mode")
+	}
+	base := DefaultChannelConfig(4)
+	ws, err := WarmChannel(base)
+	if err != nil {
+		t.Fatalf("WarmChannel: %v", err)
+	}
+	blob, err := ws.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := DecodeWarmState(blob)
+	if err != nil {
+		t.Fatalf("DecodeWarmState: %v", err)
+	}
+	for _, tc := range []struct {
+		window sim.Cycles
+		bits   []byte
+	}{
+		{15000, AlternatingBits(16)},
+		{7500, PatternBits("110", 16)},
+	} {
+		cfg := base
+		cfg.Window = tc.window
+		cfg.Bits = tc.bits
+		mem, memErr := ws.Run(cfg)
+		disk, diskErr := dec.Run(cfg)
+		if (memErr == nil) != (diskErr == nil) {
+			t.Fatalf("window %d: mem err %v, disk err %v", tc.window, memErr, diskErr)
+		}
+		if !reflect.DeepEqual(mem, disk) {
+			t.Errorf("window %d: decoded warm state diverged from in-memory state", tc.window)
+		}
+	}
+	// Damage is rejected, not misdecoded.
+	blob[len(blob)/2] ^= 1
+	if _, err := DecodeWarmState(blob); err == nil {
+		t.Fatal("bit-flipped warm blob decoded without error")
+	}
+	// Incompatible configs are still rejected after the round trip.
+	cfg := base
+	cfg.Options.Seed++
+	if _, err := dec.Run(cfg); err == nil {
+		t.Fatal("decoded warm state accepted an incompatible config")
+	}
+}
+
+// TestWarmCacheDiskTier exercises the spill/fault-in path: with capacity 1
+// and a store attached, warming a second key evicts the first to disk, and
+// re-warming the first is served from disk — no recompute — with results
+// equal to the originals.
+func TestWarmCacheDiskTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full channel runs in -short mode")
+	}
+	store, err := snapstore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWarmCache(1)
+	c.AttachStore(store)
+
+	cfgA, cfgB := DefaultChannelConfig(5), DefaultChannelConfig(6)
+	cfgA.Bits = AlternatingBits(8)
+	cfgB.Bits = AlternatingBits(8)
+
+	wsA, err := c.Warm(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA, err := wsA.Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Warm(cfgB); err != nil { // evicts A, spilling it
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskSpills != 1 {
+		t.Fatalf("after eviction: %+v, want 1 spill", st)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d blobs, want 1", store.Len())
+	}
+
+	wsA2, err := c.Warm(cfgA) // evicts B, faults A back from disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Computes != 2 || st.DiskLoads != 1 {
+		t.Fatalf("after fault-in: %+v, want 2 computes and 1 disk load", st)
+	}
+	gotA, err := wsA2.Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refA, gotA) {
+		t.Fatal("disk-tier warm state diverged from original")
+	}
+}

@@ -56,6 +56,9 @@ type Manifest struct {
 	Study         string `json:"study"`
 	GitRev        string `json:"git_rev"`
 	BaseSeed      uint64 `json:"base_seed"`
+	// SpecSHA256 is the spec's content hash (Spec.Hash): the run's
+	// deterministic identity, comparable across checkouts and hosts.
+	SpecSHA256 string `json:"spec_sha256"`
 	Axes          []Axis `json:"axes"`
 	Cells         int    `json:"cells"`
 	TrialsPerCell int    `json:"trials_per_cell"`
@@ -158,6 +161,7 @@ func WriteArtifacts(dir string, r *Report) (artifactPath, manifestPath string, e
 		Study:          r.Spec.Study,
 		GitRev:         GitRev(),
 		BaseSeed:       r.Spec.BaseSeed,
+		SpecSHA256:     r.Spec.Hash(),
 		Axes:           r.Spec.Axes,
 		Cells:          len(r.Cells),
 		TrialsPerCell:  r.Spec.Trials,

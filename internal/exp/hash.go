@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Hash returns the spec's content address: the hex SHA-256 of its canonical
+// JSON rendering (fixed field order, sorted map keys). Equal hashes mean the
+// spec produces byte-identical artifacts — every axis of the determinism
+// contract (study, seeds, grid, trial count, metrics) is part of the JSON.
+// It is recorded in run manifests and keys the serve service's run
+// memoization.
+func (s *Spec) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is a plain data struct; Marshal cannot fail on one.
+		panic(fmt.Sprintf("exp: marshaling spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// CellMemoKey identifies one cell's complete trial results for memoization:
+// two specs whose cells share a key are guaranteed identical TrialResult
+// slices for that cell, whatever the specs are named. The key covers
+// everything a cell's trials depend on — study, trial count, the seed
+// derivation inputs (base seed and seed key), the merged parameter view, and
+// the metrics flag.
+func (s *Spec) CellMemoKey(c Cell) string {
+	h := sha256.New()
+	study := s.Study
+	if study == "" {
+		study = "channel" // RunnerFor's default; "" and "channel" are one study
+	}
+	fmt.Fprintf(h, "study=%d:%s;", len(study), study)
+	fmt.Fprintf(h, "seed=%d;trials=%d;metrics=%t;", s.BaseSeed, s.Trials, s.Metrics)
+	sk := s.SeedKey(c)
+	fmt.Fprintf(h, "seedkey=%d:%s;", len(sk), sk)
+	ck := c.Key()
+	fmt.Fprintf(h, "cellkey=%d:%s;", len(ck), ck)
+	pm := s.ParamMap(c)
+	names := make([]string, 0, len(pm))
+	for name := range pm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "param=%d:%s=%d:%s;", len(name), name, len(pm[name]), pm[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,51 @@
+package exp
+
+import "testing"
+
+func TestSpecHashStableAndSensitive(t *testing.T) {
+	spec := gridSpec()
+	h1, h2 := spec.Hash(), spec.Hash()
+	if h1 != h2 {
+		t.Fatal("spec hash is not stable")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", h1)
+	}
+	mut := *spec
+	mut.BaseSeed++
+	if mut.Hash() == h1 {
+		t.Fatal("seed change did not change the spec hash")
+	}
+	mut = *spec
+	mut.Trials++
+	if mut.Hash() == h1 {
+		t.Fatal("trial-count change did not change the spec hash")
+	}
+}
+
+func TestCellMemoKeyIgnoresSpecName(t *testing.T) {
+	a, b := gridSpec(), gridSpec()
+	b.Name = "renamed"
+	ca, cb := a.Cells(), b.Cells()
+	for i := range ca {
+		if a.CellMemoKey(ca[i]) != b.CellMemoKey(cb[i]) {
+			t.Fatalf("cell %d memo key depends on the spec name", i)
+		}
+	}
+	// Default study spelling is normalized: "" and "channel" are one study.
+	c, d := gridSpec(), gridSpec()
+	c.Study, d.Study = "", "channel"
+	if c.CellMemoKey(c.Cells()[0]) != d.CellMemoKey(d.Cells()[0]) {
+		t.Fatal("default study and explicit channel study key differently")
+	}
+	// But the grid content matters.
+	e := gridSpec()
+	e.BaseSeed++
+	if e.CellMemoKey(e.Cells()[0]) == a.CellMemoKey(ca[0]) {
+		t.Fatal("seed change did not change the memo key")
+	}
+	// And distinct cells of one spec key differently.
+	if a.CellMemoKey(ca[0]) == a.CellMemoKey(ca[1]) {
+		t.Fatal("distinct cells share a memo key")
+	}
+}

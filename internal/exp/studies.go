@@ -15,9 +15,8 @@ import (
 // contract requires: the warm cache only memoizes warm-up work whose
 // forked results are exactly equal to fresh ones, so cache hits and misses
 // produce identical trial results.
-var studies = map[string]func() Runner{
-	"channel": func() Runner {
-		warm := core.NewWarmCache(0)
+var studies = map[string]func(warm *core.WarmCache) Runner{
+	"channel": func(warm *core.WarmCache) Runner {
 		return func(j Job) (Metrics, *obs.Snapshot, error) {
 			// Warm sharing only pays off when cells share seeds; without
 			// shared axes every trial has a unique seed and caching would
@@ -29,7 +28,7 @@ var studies = map[string]func() Runner{
 			return core.ChannelTrialWarm(j.Params(), j.Seed, j.Spec.Metrics, w)
 		}
 	},
-	"capacity": func() Runner {
+	"capacity": func(*core.WarmCache) Runner {
 		return func(j Job) (Metrics, *obs.Snapshot, error) {
 			return core.CapacityTrial(j.Params(), j.Seed, j.Spec.Metrics)
 		}
@@ -37,7 +36,7 @@ var studies = map[string]func() Runner{
 	// The chaos study compares fault campaigns, and fault injectors attach
 	// to the platform before the warm phase ends — outside what a snapshot
 	// can carry — so chaos trials always run fresh (see warmRestriction).
-	"chaos": func() Runner {
+	"chaos": func(*core.WarmCache) Runner {
 		return func(j Job) (Metrics, *obs.Snapshot, error) {
 			return core.ChaosTrial(j.Params(), j.Seed, j.Spec.Metrics)
 		}
@@ -58,6 +57,16 @@ func Studies() []string {
 // runner instance. Runner-private caches live and die with the returned
 // runner, so memory is bounded per harness run.
 func RunnerFor(study string) (Runner, error) {
+	return RunnerWithWarmCache(study, core.NewWarmCache(0))
+}
+
+// RunnerWithWarmCache is RunnerFor with a caller-owned warm-state cache
+// (studies that don't warm-fork ignore it). Long-lived callers — the serve
+// service — inject a cache that outlives individual harness runs and may
+// carry a snapstore-backed disk tier, so warm state survives across
+// submissions and processes. The cache never affects results: warm-forked
+// trials are exactly equal to fresh ones.
+func RunnerWithWarmCache(study string, warm *core.WarmCache) (Runner, error) {
 	if study == "" {
 		study = "channel"
 	}
@@ -65,7 +74,7 @@ func RunnerFor(study string) (Runner, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown study %q (have: %v)", study, Studies())
 	}
-	return factory(), nil
+	return factory(warm), nil
 }
 
 // RunSpec resolves the spec's study and runs it — the one-call entry point

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"sync"
+
+	"meecc/internal/exp"
+)
+
+// runState is a run's lifecycle phase.
+type runState string
+
+const (
+	runRunning runState = "running"
+	runDone    runState = "done"
+	runFailed  runState = "failed"
+)
+
+// event is one NDJSON progress line. The terminal event is type "done"
+// (carrying the service's memo counters, the determinism proof a client can
+// check) or "error".
+type event struct {
+	Type      string `json:"type"`
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	CellsDone int    `json:"cells_done,omitempty"`
+	Cells     int    `json:"cells,omitempty"`
+	Failures  int    `json:"failures,omitempty"`
+	// Cumulative service counters, reported on the done event: how many
+	// trials this service has ever executed vs replayed from the memo.
+	TrialsExecuted int64  `json:"trials_executed,omitempty"`
+	TrialsMemoized int64  `json:"trials_memoized,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// runInfo is the submit/status response body.
+type runInfo struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name"`
+	Study      string   `json:"study"`
+	SpecSHA256 string   `json:"spec_sha256"`
+	State      runState `json:"state"`
+	Events     string   `json:"events"`
+	Artifact   string   `json:"artifact"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// run is one submitted spec moving through the service.
+type run struct {
+	id       string
+	spec     *exp.Spec
+	specHash string
+
+	mu       sync.Mutex
+	state    runState
+	events   []event
+	notify   chan struct{} // closed and replaced on every append
+	artifact []byte
+	errMsg   string
+}
+
+func newRun(id string, spec *exp.Spec, hash string) *run {
+	ru := &run{
+		id:       id,
+		spec:     spec,
+		specHash: hash,
+		state:    runRunning,
+		notify:   make(chan struct{}),
+	}
+	ru.emit(event{Type: "queued"})
+	return ru
+}
+
+func (ru *run) info() runInfo {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	return runInfo{
+		ID:         ru.id,
+		Name:       ru.spec.Name,
+		Study:      ru.spec.Study,
+		SpecSHA256: ru.specHash,
+		State:      ru.state,
+		Events:     "/v1/runs/" + ru.id + "/events",
+		Artifact:   "/v1/runs/" + ru.id + "/artifact",
+		Error:      ru.errMsg,
+	}
+}
+
+// emit appends an event and wakes every streaming client.
+func (ru *run) emit(ev event) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	ru.emitLocked(ev)
+}
+
+func (ru *run) emitLocked(ev event) {
+	ru.events = append(ru.events, ev)
+	close(ru.notify)
+	ru.notify = make(chan struct{})
+}
+
+// finish records the canonical artifact and emits the terminal done event.
+func (ru *run) finish(artifact []byte, failures int, st Stats) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	ru.state = runDone
+	ru.artifact = artifact
+	ru.emitLocked(event{
+		Type:           "done",
+		Failures:       failures,
+		TrialsExecuted: st.TrialsExecuted,
+		TrialsMemoized: st.TrialsMemoized,
+	})
+}
+
+// fail marks the run failed and emits the terminal error event.
+func (ru *run) fail(err error) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	ru.state = runFailed
+	ru.errMsg = err.Error()
+	ru.emitLocked(event{Type: "error", Error: ru.errMsg})
+}
+
+// eventsFrom returns the events at and after index `from`, the channel that
+// closes on the next append, and whether the run has reached a terminal
+// state.
+func (ru *run) eventsFrom(from int) ([]event, <-chan struct{}, bool) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	var evs []event
+	if from < len(ru.events) {
+		evs = append(evs, ru.events[from:]...)
+	}
+	return evs, ru.notify, ru.state != runRunning
+}
+
+func (ru *run) eventCount() int {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	return len(ru.events)
+}
+
+// result returns the terminal artifact and state.
+func (ru *run) result() ([]byte, runState, string) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	return ru.artifact, ru.state, ru.errMsg
+}

@@ -1,0 +1,303 @@
+// Package serve exposes the experiment harness as a long-lived HTTP
+// service: clients POST declarative exp specs, follow progress as an NDJSON
+// event stream, and fetch the finished versioned artifact. The service
+// preserves the harness's determinism contract end to end — an artifact
+// served over HTTP is byte-identical to what `meecc batch` writes locally
+// for the same spec, at any worker count — and adds two persistence layers
+// on top: completed trials are memoized by cell content hash (resubmitting a
+// spec re-executes nothing), and warm channel state is spilled to and
+// faulted from a snapstore, so calibration work survives across submissions
+// and process restarts.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"meecc/internal/core"
+	"meecc/internal/exp"
+	"meecc/internal/obs"
+	"meecc/internal/snapstore"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Workers sizes each run's trial pool (<= 0 means GOMAXPROCS). Worker
+	// count never changes artifacts, only wall time.
+	Workers int
+	// StoreDir, when non-empty, roots a snapstore for the warm-state disk
+	// tier. Empty keeps warm state purely in memory.
+	StoreDir string
+	// StoreMaxBytes bounds the store (<= 0 means unbounded).
+	StoreMaxBytes int64
+	// WarmCapacity bounds the in-memory warm-state tier (<= 0 = default).
+	WarmCapacity int
+	// Obs, when non-nil, receives the service's counters
+	// (serve.runs_submitted, serve.trials_executed, serve.trials_memoized,
+	// serve.warm_disk_loads, serve.warm_disk_spills).
+	Obs *obs.Observer
+}
+
+// Stats is a snapshot of the service's counters.
+type Stats struct {
+	RunsSubmitted  int64
+	TrialsExecuted int64
+	TrialsMemoized int64
+	Warm           core.WarmCacheStats
+}
+
+// Server is the HTTP handler. Create with New; safe for concurrent use.
+type Server struct {
+	cfg  Config
+	warm *core.WarmCache
+	mux  *http.ServeMux
+
+	mu    sync.Mutex
+	runs  map[string]*run
+	order []string // insertion order, for listing
+	subs  map[string]int
+	memo  map[string]memoTrial
+	stats Stats
+}
+
+// memoTrial is one completed trial's result, keyed by the cell memo key and
+// trial index. Results are deterministic, so replaying a stored value is
+// indistinguishable from re-executing the trial.
+type memoTrial struct {
+	metrics exp.Metrics
+	snap    *obs.Snapshot
+	err     string
+}
+
+// New builds a server, opening the warm-state store when configured.
+func New(cfg Config) (*Server, error) {
+	warm := core.NewWarmCache(cfg.WarmCapacity)
+	if cfg.StoreDir != "" {
+		store, err := snapstore.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		warm.AttachStore(store)
+	}
+	s := &Server{
+		cfg:  cfg,
+		warm: warm,
+		runs: map[string]*run{},
+		subs: map[string]int{},
+		memo: map[string]memoTrial{},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns the service counters. Counter reads are consistent with the
+// runs that have finished; call after a run completes for exact totals.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Warm = s.warm.Stats()
+	return st
+}
+
+// handleSubmit accepts a spec, assigns a run id derived from the spec's
+// content hash and a per-spec submission counter, and starts the run.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	var raw json.RawMessage
+	if err := json.NewDecoder(body).Decode(&raw); err != nil {
+		httpError(w, http.StatusBadRequest, "reading spec: %v", err)
+		return
+	}
+	spec, err := exp.ParseSpec(raw)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if _, err := exp.RunnerFor(spec.Study); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	hash := spec.Hash()
+
+	s.mu.Lock()
+	s.subs[hash]++
+	id := fmt.Sprintf("%s-%d", hash[:12], s.subs[hash])
+	ru := newRun(id, spec, hash)
+	s.runs[id] = ru
+	s.order = append(s.order, id)
+	s.stats.RunsSubmitted++
+	s.cfg.Obs.Counter("serve.runs_submitted").Inc()
+	s.mu.Unlock()
+
+	go s.execute(ru)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(ru.info())
+}
+
+// execute runs the spec through the harness with the memoizing runner,
+// emitting progress events and capturing the canonical artifact.
+func (s *Server) execute(ru *run) {
+	runner, err := exp.RunnerWithWarmCache(ru.spec.Study, s.warm)
+	if err != nil {
+		ru.fail(err)
+		return
+	}
+	rep, err := exp.Run(ru.spec, s.memoize(runner), exp.Config{
+		Workers: s.cfg.Workers,
+		OnProgress: func(p exp.Progress) {
+			ru.emit(event{
+				Type:      "progress",
+				Done:      p.Done,
+				Total:     p.Total,
+				CellsDone: p.CellsDone,
+				Cells:     p.Cells,
+			})
+		},
+	})
+	if err != nil {
+		ru.fail(err)
+		return
+	}
+	artifact, err := exp.MarshalArtifact(rep.Artifact())
+	if err != nil {
+		ru.fail(err)
+		return
+	}
+	st := s.Stats()
+	ru.finish(artifact, rep.Failures(), st)
+}
+
+// memoize wraps a runner with the trial memo: results are replayed by
+// (cell memo key, trial) content address instead of re-executed. The memo
+// key covers everything a trial depends on, so a hit is exact; specs that
+// share cells (including resubmissions under a different name) share
+// entries.
+func (s *Server) memoize(runner exp.Runner) exp.Runner {
+	return func(j exp.Job) (exp.Metrics, *obs.Snapshot, error) {
+		key := fmt.Sprintf("%s/%d", j.Spec.CellMemoKey(j.Cell), j.Trial)
+		s.mu.Lock()
+		if v, ok := s.memo[key]; ok {
+			s.stats.TrialsMemoized++
+			s.cfg.Obs.Counter("serve.trials_memoized").Inc()
+			s.mu.Unlock()
+			if v.err != "" {
+				return nil, nil, fmt.Errorf("%s", v.err)
+			}
+			return v.metrics, v.snap, nil
+		}
+		s.mu.Unlock()
+
+		m, snap, err := runner(j)
+
+		v := memoTrial{metrics: m, snap: snap}
+		if err != nil {
+			v.err = err.Error()
+		}
+		s.mu.Lock()
+		s.memo[key] = v
+		s.stats.TrialsExecuted++
+		s.cfg.Obs.Counter("serve.trials_executed").Inc()
+		s.mu.Unlock()
+		return m, snap, err
+	}
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *run {
+	s.mu.Lock()
+	ru := s.runs[r.PathValue("id")]
+	s.mu.Unlock()
+	if ru == nil {
+		httpError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+	}
+	return ru
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]runInfo, len(s.order))
+	for i, id := range s.order {
+		infos[i] = s.runs[id].info()
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"runs": infos})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ru.info())
+}
+
+// handleEvents streams the run's event history and then follows it live as
+// NDJSON, one event object per line, ending with the terminal done/error
+// event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, notify, terminal := ru.eventsFrom(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal && next == ru.eventCount() {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	artifact, state, errMsg := ru.result()
+	switch state {
+	case runDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(artifact)
+	case runFailed:
+		httpError(w, http.StatusInternalServerError, "run failed: %s", errMsg)
+	default:
+		httpError(w, http.StatusConflict, "run %s is still %s", ru.id, state)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -179,3 +179,7 @@ func (r *Resource) Acquire(t, dur Cycles) (stall Cycles) {
 
 // BusyUntil returns the cycle at which the resource becomes free.
 func (r *Resource) BusyUntil() Cycles { return r.busyUntil }
+
+// ResumeResource reconstructs a Resource from a serialized busy-until clock,
+// the inverse of BusyUntil for snapshot codecs.
+func ResumeResource(busyUntil Cycles) Resource { return Resource{busyUntil: busyUntil} }

@@ -1,0 +1,408 @@
+package snapstore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"meecc/internal/cache"
+	"meecc/internal/cpucache"
+	"meecc/internal/dram"
+	"meecc/internal/enclave"
+	"meecc/internal/itree"
+	"meecc/internal/mee"
+	"meecc/internal/platform"
+	"meecc/internal/sim"
+)
+
+// Blob kind labels; Seal/Unseal reject a blob presented as the wrong kind.
+const (
+	KindSnapshot = "platform-snapshot"
+	KindWarm     = "warm-channel-state"
+)
+
+// EncodeSnapshot serializes a platform snapshot into a sealed, versioned,
+// checksummed blob. The machine Config travels as canonical JSON (it is
+// small, extensible, and hashable); the bulky component state — DRAM pages,
+// cache directories, replacement words, MEE node buffers — uses the packed
+// binary layout below it.
+func EncodeSnapshot(s *platform.Snapshot) ([]byte, error) {
+	var w Writer
+	if err := AppendSnapshot(&w, s); err != nil {
+		return nil, err
+	}
+	return Seal(KindSnapshot, w.Bytes()), nil
+}
+
+// DecodeSnapshot reverses EncodeSnapshot, validating framing, checksum, and
+// every structural invariant before handing back a forkable snapshot.
+func DecodeSnapshot(blob []byte) (*platform.Snapshot, error) {
+	payload, err := Unseal(KindSnapshot, blob)
+	if err != nil {
+		return nil, err
+	}
+	r := NewReader(payload)
+	s, err := ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, r.Remaining())
+	}
+	return s, nil
+}
+
+// AppendSnapshot writes a snapshot's full payload into w, so callers
+// embedding a snapshot inside a larger blob (core's warm channel state) can
+// compose it with their own fields.
+func AppendSnapshot(w *Writer, s *platform.Snapshot) error {
+	st := s.ExportState()
+	cfgJSON, err := json.Marshal(st.Cfg)
+	if err != nil {
+		return fmt.Errorf("snapstore: marshaling config: %w", err)
+	}
+	w.Blob(cfgJSON)
+	w.String(st.MEEPolicy)
+	w.Raw(st.Master[:])
+	w.Blob(st.RNGState)
+	writeDRAM(w, st.Mem)
+	writeMEE(w, st.MEE)
+	writeCPU(w, st.Caches)
+	writeEPC(w, st.EPC)
+	w.U64s(st.GenUsed)
+	w.U64(uint64(st.PRMBase))
+	w.U64(uint64(len(st.Procs)))
+	for _, p := range st.Procs {
+		writeProc(w, p)
+	}
+	w.I64(int64(st.NextEID))
+	w.I64(int64(st.NextPID))
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot payload from r (the inverse of
+// AppendSnapshot), rebuilding a forkable platform snapshot.
+func ReadSnapshot(r *Reader) (*platform.Snapshot, error) {
+	st := &platform.SnapshotState{}
+	cfgJSON := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(cfgJSON, &st.Cfg); err != nil {
+		return nil, fmt.Errorf("%w: config: %v", ErrCorrupt, err)
+	}
+	st.MEEPolicy = r.String()
+	copy(st.Master[:], r.Raw(16))
+	st.RNGState = append([]byte(nil), r.Blob()...)
+	st.Mem = readDRAM(r, st.Cfg.DRAM)
+	st.MEE = readMEE(r)
+	st.Caches = readCPU(r)
+	st.EPC = readEPC(r)
+	st.GenUsed = r.U64s()
+	st.PRMBase = dram.Addr(r.U64())
+	nProcs := r.Count(1)
+	for i := 0; i < nProcs && r.Err() == nil; i++ {
+		st.Procs = append(st.Procs, readProc(r))
+	}
+	st.NextEID = int(r.I64())
+	st.NextPID = int(r.I64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s, err := platform.SnapshotFromState(st)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// DRAM
+
+func writeDRAM(w *Writer, st *dram.SnapshotState) {
+	w.I64(int64(st.Allocated))
+	w.I64s(st.OpenRow)
+	w.U64(uint64(len(st.BanksBusy)))
+	for _, b := range st.BanksBusy {
+		w.I64(int64(b))
+	}
+	w.I64s(st.RefreshedAt)
+	w.U64(st.Stats.Reads)
+	w.U64(st.Stats.Writes)
+	w.U64(st.Stats.RowHits)
+	w.U64(st.Stats.RowMisses)
+	w.U64(st.Stats.Refreshes)
+	w.I64(int64(st.Stats.StallCyc))
+	w.U64(uint64(len(st.Pages)))
+	for _, p := range st.Pages {
+		w.U64(p.Index)
+		w.Raw(p.Data)
+	}
+}
+
+func readDRAM(r *Reader, cfg dram.Config) *dram.SnapshotState {
+	st := &dram.SnapshotState{Cfg: cfg}
+	st.Allocated = int(r.I64())
+	st.OpenRow = r.I64s()
+	nb := r.Count(8)
+	st.BanksBusy = make([]sim.Cycles, nb)
+	for i := range st.BanksBusy {
+		st.BanksBusy[i] = sim.Cycles(r.I64())
+	}
+	st.RefreshedAt = r.I64s()
+	st.Stats.Reads = r.U64()
+	st.Stats.Writes = r.U64()
+	st.Stats.RowHits = r.U64()
+	st.Stats.RowMisses = r.U64()
+	st.Stats.Refreshes = r.U64()
+	st.Stats.StallCyc = sim.Cycles(r.I64())
+	nPages := r.Count(8 + dram.PageBytes)
+	st.Pages = make([]dram.PageImage, 0, nPages)
+	for i := 0; i < nPages && r.Err() == nil; i++ {
+		idx := r.U64()
+		data := r.Raw(dram.PageBytes)
+		st.Pages = append(st.Pages, dram.PageImage{Index: idx, Data: data})
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Generic cache level
+
+func writeCache(w *Writer, st *cache.State) {
+	w.String(st.Name)
+	w.U32(uint32(st.Sets))
+	w.U32(uint32(st.Ways))
+	w.String(st.PolicyName)
+	w.U64(uint64(len(st.Lines)))
+	for _, l := range st.Lines {
+		w.U64(uint64(l.Tag))
+		w.Bool(l.Valid)
+		w.Bool(l.Dirty)
+	}
+	for _, ws := range st.SetWords {
+		w.U64s(ws)
+	}
+	w.U64(st.Stats.Hits)
+	w.U64(st.Stats.Misses)
+	w.U64(st.Stats.Fills)
+	w.U64(st.Stats.Evictions)
+	w.U64(st.Stats.WritebacksOut)
+	w.U64(st.Stats.Invalidations)
+	w.U64s(st.EvBySet)
+}
+
+func readCache(r *Reader) *cache.State {
+	st := &cache.State{}
+	st.Name = r.String()
+	st.Sets = int(r.U32())
+	st.Ways = int(r.U32())
+	st.PolicyName = r.String()
+	nLines := r.Count(10)
+	st.Lines = make([]cache.Line, nLines)
+	for i := range st.Lines {
+		st.Lines[i] = cache.Line{Tag: cache.Tag(r.U64()), Valid: r.Bool(), Dirty: r.Bool()}
+	}
+	// Each set's word vector costs at least its 8-byte length prefix, so
+	// bound the outer allocation by the remaining payload.
+	if st.Sets < 0 || st.Sets*8 > r.Remaining() {
+		r.fail("cache %s: set count %d exceeds payload", st.Name, st.Sets)
+		return st
+	}
+	st.SetWords = make([][]uint64, st.Sets)
+	for s := range st.SetWords {
+		st.SetWords[s] = r.U64s()
+	}
+	st.Stats.Hits = r.U64()
+	st.Stats.Misses = r.U64()
+	st.Stats.Fills = r.U64()
+	st.Stats.Evictions = r.U64()
+	st.Stats.WritebacksOut = r.U64()
+	st.Stats.Invalidations = r.U64()
+	st.EvBySet = r.U64s()
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// MEE engine
+
+func writeMEE(w *Writer, st *mee.State) {
+	writeCache(w, st.Cache)
+	w.U64(uint64(len(st.Bufs)))
+	for _, b := range st.Bufs {
+		w.U32(uint32(b.Idx))
+		w.U64(uint64(b.Addr))
+		w.U8(uint8(b.Kind))
+		for _, c := range b.Counter.Counters {
+			w.U64(c)
+		}
+		w.U64(b.Counter.MAC)
+		for _, t := range b.Tags.Tags {
+			w.U64(t)
+		}
+		w.Bool(b.Dirty)
+	}
+	w.U64s(st.Root)
+	w.U64s(st.Initialized)
+	w.I64(int64(st.PortBusy))
+	w.U64(st.Stats.Reads)
+	w.U64(st.Stats.Writes)
+	for _, h := range st.Stats.HitsAt {
+		w.U64(h)
+	}
+	w.U64(st.Stats.Writebacks)
+	w.U64(st.Stats.Violations)
+	w.I64(int64(st.Stats.StallCyc))
+}
+
+const meeBufWire = 4 + 8 + 1 + (itree.CountersPerLine+1)*8 + itree.CountersPerLine*8 + 1
+
+func readMEE(r *Reader) *mee.State {
+	st := &mee.State{Cache: readCache(r)}
+	nBufs := r.Count(meeBufWire)
+	st.Bufs = make([]mee.BufState, 0, nBufs)
+	for i := 0; i < nBufs && r.Err() == nil; i++ {
+		b := mee.BufState{
+			Idx:  int(r.U32()),
+			Addr: dram.Addr(r.U64()),
+			Kind: itree.NodeKind(r.U8()),
+		}
+		for j := range b.Counter.Counters {
+			b.Counter.Counters[j] = r.U64()
+		}
+		b.Counter.MAC = r.U64()
+		for j := range b.Tags.Tags {
+			b.Tags.Tags[j] = r.U64()
+		}
+		b.Dirty = r.Bool()
+		st.Bufs = append(st.Bufs, b)
+	}
+	st.Root = r.U64s()
+	st.Initialized = r.U64s()
+	st.PortBusy = sim.Cycles(r.I64())
+	st.Stats.Reads = r.U64()
+	st.Stats.Writes = r.U64()
+	for i := range st.Stats.HitsAt {
+		st.Stats.HitsAt[i] = r.U64()
+	}
+	st.Stats.Writebacks = r.U64()
+	st.Stats.Violations = r.U64()
+	st.Stats.StallCyc = sim.Cycles(r.I64())
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// CPU cache hierarchy
+
+func writeCPU(w *Writer, st *cpucache.State) {
+	w.U64(uint64(len(st.L1)))
+	for _, c := range st.L1 {
+		writeCache(w, c)
+	}
+	w.U64(uint64(len(st.L2)))
+	for _, c := range st.L2 {
+		writeCache(w, c)
+	}
+	writeCache(w, st.LLC)
+	w.U64(uint64(len(st.Bufs)))
+	for _, b := range st.Bufs {
+		w.U32(uint32(b.Idx))
+		w.Raw(b.Data[:])
+		w.Bool(b.Dirty)
+	}
+}
+
+func readCPU(r *Reader) *cpucache.State {
+	st := &cpucache.State{}
+	n1 := r.Count(1)
+	for i := 0; i < n1 && r.Err() == nil; i++ {
+		st.L1 = append(st.L1, readCache(r))
+	}
+	n2 := r.Count(1)
+	for i := 0; i < n2 && r.Err() == nil; i++ {
+		st.L2 = append(st.L2, readCache(r))
+	}
+	st.LLC = readCache(r)
+	nBufs := r.Count(4 + dram.LineSize + 1)
+	st.Bufs = make([]cpucache.LineBufState, 0, nBufs)
+	for i := 0; i < nBufs && r.Err() == nil; i++ {
+		b := cpucache.LineBufState{Idx: int(r.U32())}
+		copy(b.Data[:], r.Raw(dram.LineSize))
+		b.Dirty = r.Bool()
+		st.Bufs = append(st.Bufs, b)
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// EPC allocator and processes
+
+func writeEPC(w *Writer, st *enclave.EPCState) {
+	w.U64(uint64(len(st.Frames)))
+	for _, f := range st.Frames {
+		w.U64(uint64(f))
+	}
+	w.I64(int64(st.Next))
+	w.U64(uint64(len(st.Owners)))
+	for _, o := range st.Owners {
+		w.U64(uint64(o.Frame))
+		w.I64(int64(o.EID))
+	}
+}
+
+func readEPC(r *Reader) *enclave.EPCState {
+	st := &enclave.EPCState{}
+	nf := r.Count(8)
+	st.Frames = make([]dram.Addr, nf)
+	for i := range st.Frames {
+		st.Frames[i] = dram.Addr(r.U64())
+	}
+	st.Next = int(r.I64())
+	no := r.Count(16)
+	st.Owners = make([]enclave.OwnerEntry, 0, no)
+	for i := 0; i < no && r.Err() == nil; i++ {
+		st.Owners = append(st.Owners, enclave.OwnerEntry{
+			Frame: dram.Addr(r.U64()),
+			EID:   int(r.I64()),
+		})
+	}
+	return st
+}
+
+func writeProc(w *Writer, p platform.ProcState) {
+	w.String(p.Name)
+	w.I64(int64(p.PID))
+	w.U64(uint64(len(p.PT)))
+	for _, e := range p.PT {
+		w.U64(uint64(e.VA))
+		w.U64(uint64(e.PA))
+	}
+	w.U64(uint64(p.HeapNext))
+	w.U64(uint64(p.EnclNext))
+	w.Bool(p.Encl != nil)
+	if p.Encl != nil {
+		w.I64(int64(p.Encl.ID))
+		w.U64(uint64(p.Encl.Base))
+		w.I64(int64(p.Encl.Pages))
+	}
+}
+
+func readProc(r *Reader) platform.ProcState {
+	p := platform.ProcState{}
+	p.Name = r.String()
+	p.PID = int(r.I64())
+	nPT := r.Count(16)
+	p.PT = make([]enclave.PTE, 0, nPT)
+	for i := 0; i < nPT && r.Err() == nil; i++ {
+		p.PT = append(p.PT, enclave.PTE{VA: enclave.VAddr(r.U64()), PA: dram.Addr(r.U64())})
+	}
+	p.HeapNext = enclave.VAddr(r.U64())
+	p.EnclNext = enclave.VAddr(r.U64())
+	if r.Bool() {
+		p.Encl = &enclave.Enclave{
+			ID:    int(r.I64()),
+			Base:  enclave.VAddr(r.U64()),
+			Pages: int(r.I64()),
+		}
+	}
+	return p
+}

@@ -1,0 +1,142 @@
+package snapstore_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"meecc/internal/enclave"
+	"meecc/internal/platform"
+	"meecc/internal/sim"
+	"meecc/internal/snapstore"
+)
+
+// buildSnapshot boots a platform, warms it through an enclave thread (MEE
+// cache fills, integrity-tree materialization, CPU cache state, COW pages),
+// and snapshots at quiescence, returning the snapshot plus the thread state
+// and clock needed to resume work on a fork.
+func buildSnapshot(tb testing.TB, seed uint64) (*platform.Snapshot, platform.ThreadState, sim.Cycles) {
+	tb.Helper()
+	p := platform.New(platform.DefaultConfig(seed))
+	pr := p.NewProcess("victim")
+	e, err := pr.CreateEnclave(64)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var st platform.ThreadState
+	var end sim.Cycles
+	p.SpawnThread("warm", pr, 0, func(th *platform.Thread) {
+		th.EnterEnclave()
+		for i := 0; i < 512; i++ {
+			va := e.Base + enclave.VAddr((i*64)%int(e.Size()))
+			if i%3 == 0 {
+				th.WriteU64(va, uint64(i))
+			} else {
+				th.Access(va)
+			}
+		}
+		st = th.State()
+		end = th.Now()
+	})
+	p.Run(-1)
+	return p.Snapshot(), st, end
+}
+
+// traceFork resumes the warmed thread on a fork of snap and records the full
+// timing/level/MEE-hit stream of a deterministic probe pattern.
+func traceFork(tb testing.TB, snap *platform.Snapshot, st platform.ThreadState, start sim.Cycles) []platform.AccessResult {
+	tb.Helper()
+	plat := snap.Fork()
+	pr := plat.Procs()[0]
+	e := pr.Enclave()
+	var out []platform.AccessResult
+	plat.ResumeThread("probe", pr, start, st, func(th *platform.Thread) {
+		for i := 0; i < 768; i++ {
+			va := e.Base + enclave.VAddr((i*64*7)%int(e.Size()))
+			if i%5 == 0 {
+				th.Flush(va)
+			}
+			out = append(out, th.Access(va))
+		}
+	})
+	plat.Run(-1)
+	return out
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	snap, _, _ := buildSnapshot(t, 7)
+	blob, err := snapstore.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := snapstore.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full exported state must survive the round trip bit-for-bit.
+	want, got := snap.ExportState(), dec.ExportState()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("decoded snapshot state differs from original")
+	}
+	// And the codec itself must be deterministic: encoding the decoded
+	// snapshot reproduces the original blob byte-for-byte.
+	blob2, err := snapstore.EncodeSnapshot(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("re-encoding a decoded snapshot changed the blob (%d vs %d bytes)", len(blob), len(blob2))
+	}
+}
+
+// TestDecodedForkMatchesInMemoryFork is the determinism proof for the wire
+// format: a fork of decode(encode(snapshot)) produces exactly the timing
+// stream a fork of the in-memory snapshot does.
+func TestDecodedForkMatchesInMemoryFork(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		snap, st, end := buildSnapshot(t, seed)
+		blob, err := snapstore.EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := snapstore.DecodeSnapshot(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := traceFork(t, snap, st, end)
+		disk := traceFork(t, dec, st, end)
+		if !reflect.DeepEqual(mem, disk) {
+			t.Fatalf("seed %d: decoded fork diverged from in-memory fork", seed)
+		}
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	snap, _, _ := buildSnapshot(t, 11)
+	blob, err := snapstore.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at assorted depths.
+	for _, n := range []int{0, 1, 7, 8, 55, len(blob) / 2, len(blob) - 1} {
+		if _, err := snapstore.DecodeSnapshot(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	// Bit flips across the blob, including the framing and the trailer.
+	for _, pos := range []int{0, 9, 20, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
+		dam := append([]byte(nil), blob...)
+		dam[pos] ^= 0x40
+		if _, err := snapstore.DecodeSnapshot(dam); err == nil {
+			t.Fatalf("bit flip at %d decoded without error", pos)
+		}
+	}
+	// Wrong kind: a warm-state seal must not decode as a snapshot.
+	payload, err := snapstore.Unseal(snapstore.KindSnapshot, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapstore.DecodeSnapshot(snapstore.Seal(snapstore.KindWarm, payload)); err == nil {
+		t.Fatal("wrong-kind blob decoded without error")
+	}
+}

@@ -1,0 +1,281 @@
+// Package snapstore serializes platform snapshots into a versioned binary
+// wire format and keeps them in a content-addressed on-disk store with
+// atomic writes, size-bounded LRU eviction, and corruption detection. It is
+// the persistence substrate under core's warm-state cache and the serve
+// experiment service: warm calibration state survives the process, so a
+// repeated study boots from disk instead of re-running Algorithm 1.
+package snapstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt tags any decode failure caused by damaged bytes — truncation,
+// bit flips, or a checksum mismatch. Callers treat it as "re-derive the
+// state", never as fatal.
+var ErrCorrupt = errors.New("snapstore: corrupt blob")
+
+const (
+	// magic opens every sealed blob.
+	magic = "MEECSNP\x00"
+	// Version is the wire-format version; bump on any layout change.
+	Version = 1
+	// maxStringLen bounds decoded string/name lengths so a corrupted length
+	// prefix cannot drive a giant allocation before the checksum would have
+	// caught it.
+	maxStringLen = 1 << 16
+	// minSealedLen is the size of the smallest possible sealed blob: magic,
+	// version, empty kind, empty payload, checksum trailer.
+	minSealedLen = len(magic) + 4 + 4 + 8 + sha256.Size
+)
+
+// Writer builds a wire payload. All integers are little-endian fixed-width;
+// variable-size fields carry an explicit length prefix. The zero value is
+// ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the accumulated payload size.
+func (w *Writer) Len() int { return len(w.buf) }
+
+func (w *Writer) U8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *Writer) I64(v int64)  { w.U64(uint64(v)) }
+
+// Raw appends bytes with no length prefix; the reader must know the size.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Blob appends a length-prefixed byte string.
+func (w *Writer) Blob(b []byte) {
+	w.U64(uint64(len(b)))
+	w.Raw(b)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// U64s appends a length-prefixed slice of words.
+func (w *Writer) U64s(vs []uint64) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// I64s appends a length-prefixed slice of signed words.
+func (w *Writer) I64s(vs []int64) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.I64(v)
+	}
+}
+
+// Reader consumes a wire payload with sticky-error semantics: the first
+// failed read latches the error, every later read returns a zero value, and
+// Err surfaces what went wrong. Every length prefix is validated against
+// the remaining payload before any allocation, so corrupted or truncated
+// input produces ErrCorrupt — never a panic or an outsized allocation.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the latched decode error, nil if all reads succeeded so far.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns how many unread payload bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+// take returns the next n payload bytes, or nil after latching ErrCorrupt
+// when fewer remain.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail("need %d bytes, %d remain", n, r.Remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads a u64 and rejects values that do not fit a non-negative int.
+func (r *Reader) Int() int {
+	v := r.U64()
+	if r.err == nil && v > uint64(int(^uint(0)>>1)) {
+		r.fail("value %d overflows int", v)
+	}
+	return int(v)
+}
+
+// Raw reads exactly n bytes (no length prefix). The returned slice aliases
+// the payload.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// Blob reads a length-prefixed byte string; the result aliases the payload.
+func (r *Reader) Blob() []byte {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}
+
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err == nil && n > maxStringLen {
+		r.fail("string length %d exceeds limit", n)
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Count reads a length prefix for elemSize-byte elements, bounding it by the
+// remaining payload so a corrupted count cannot drive allocation.
+func (r *Reader) Count(elemSize int) int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if n*elemSize > r.Remaining() {
+		r.fail("count %d exceeds remaining payload", n)
+		return 0
+	}
+	return n
+}
+
+// U64s reads a length-prefixed slice of words.
+func (r *Reader) U64s() []uint64 {
+	n := r.Count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// I64s reads a length-prefixed slice of signed words.
+func (r *Reader) I64s() []int64 {
+	n := r.Count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.I64()
+	}
+	return out
+}
+
+// Seal frames a payload for storage: magic, format version, a kind label
+// distinguishing blob families (platform snapshots vs. warm channel state),
+// the length-prefixed payload, and a SHA-256 trailer over everything before
+// it. Unseal rejects any blob whose trailer does not match.
+func Seal(kind string, payload []byte) []byte {
+	var w Writer
+	w.buf = make([]byte, 0, len(magic)+4+4+len(kind)+8+len(payload)+sha256.Size)
+	w.Raw([]byte(magic))
+	w.U32(Version)
+	w.String(kind)
+	w.Blob(payload)
+	sum := sha256.Sum256(w.buf)
+	w.Raw(sum[:])
+	return w.buf
+}
+
+// Unseal validates a sealed blob's framing and checksum and returns its
+// payload (aliasing blob). Kind mismatches, version mismatches, truncation,
+// and bit flips all come back as errors; checksum and length damage wraps
+// ErrCorrupt.
+func Unseal(kind string, blob []byte) ([]byte, error) {
+	if len(blob) < minSealedLen {
+		return nil, fmt.Errorf("%w: %d bytes is too short to be a sealed blob", ErrCorrupt, len(blob))
+	}
+	body, trailer := blob[:len(blob)-sha256.Size], blob[len(blob)-sha256.Size:]
+	sum := sha256.Sum256(body)
+	if [sha256.Size]byte(trailer) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	r := NewReader(body)
+	if string(r.Raw(len(magic))) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := r.U32(); v != Version {
+		return nil, fmt.Errorf("snapstore: unsupported format version %d (want %d)", v, Version)
+	}
+	if k := r.String(); k != kind {
+		return nil, fmt.Errorf("snapstore: blob kind %q, want %q", k, kind)
+	}
+	payload := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Remaining())
+	}
+	return payload, nil
+}
