@@ -99,6 +99,11 @@ echo "== fuzz smoke: internal/snapstore =="
 # machines.
 go test ./internal/snapstore -run '^$' -fuzz FuzzSnapshotCodec -fuzztime 5s
 
+echo "== fuzz smoke: internal/serve/journal =="
+# The write-ahead log replays whatever a crash left on disk: arbitrary bytes
+# must never panic, and every record recovered must be a real record.
+go test ./internal/serve/journal -run '^$' -fuzz FuzzJournalReplay -fuzztime 5s
+
 echo "== smoke: meecc batch =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -117,9 +122,39 @@ serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
 "$tmp/meecc" submit -spec examples/specs/smoke.json -addr 127.0.0.1:8391 -out "$tmp/served"
 kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
 trap 'rm -rf "$tmp"' EXIT
 cmp "$tmp/served/smoke.json" "$tmp/smoke.json" || {
     echo "served artifact differs from local batch artifact" >&2; exit 1; }
+
+echo "== smoke: serve crash recovery (kill -9 / restart / resume) =="
+# The durability contract, end to end over real processes: a server killed
+# with SIGKILL mid-run loses nothing its journal committed. The resubmitted
+# run resumes from the replayed memo and produces an artifact byte-identical
+# to the local batch run. (If the first run finishes before the kill lands,
+# the resubmission is simply fully memoized — the comparison still holds.)
+"$tmp/meecc" serve -addr 127.0.0.1:8392 -journal "$tmp/serve.wal" &
+serve_pid=$!
+trap 'kill -9 "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+("$tmp/meecc" submit -spec examples/specs/smoke.json -addr 127.0.0.1:8392 \
+    -out "$tmp/crashed" >/dev/null 2>&1 || true) &
+submit_pid=$!
+sleep 1
+kill -9 "$serve_pid"
+# The orphaned submit would retry-reconnect for a while; it has served its
+# purpose (driving the run the kill interrupted), so take it down too.
+kill "$submit_pid" 2>/dev/null || true
+wait "$submit_pid" 2>/dev/null || true
+test -s "$tmp/serve.wal" || { echo "journal was never written" >&2; exit 1; }
+"$tmp/meecc" serve -addr 127.0.0.1:8392 -journal "$tmp/serve.wal" &
+serve_pid=$!
+trap 'kill -9 "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+"$tmp/meecc" submit -spec examples/specs/smoke.json -addr 127.0.0.1:8392 -out "$tmp/resumed"
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap 'rm -rf "$tmp"' EXIT
+cmp "$tmp/resumed/smoke.json" "$tmp/smoke.json" || {
+    echo "resumed artifact differs from local batch artifact" >&2; exit 1; }
 
 echo "== smoke: traced fig6b =="
 # One traced end-to-end transmission: the exported Chrome trace must pass

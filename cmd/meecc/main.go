@@ -17,16 +17,32 @@
 //	meecc activity [-seed N]                   # victim-activity inference
 //	meecc inspect  FILE                        # render a snapshot/trace/artifact
 //	meecc serve    [-addr HOST:PORT] [-storedir DIR] [-storemax BYTES] [-workers N]
+//	               [-journal FILE] [-maxruns N] [-maxpending N] [-runtimeout D]
+//	               [-grace D] [-readtimeout D] [-writetimeout D] [-idletimeout D]
 //	meecc submit   -spec FILE [-addr HOST:PORT] [-out DIR]
 //	meecc hash     -spec FILE                  # print the spec's content hash
 //
 // serve runs the experiment service: POST /v1/runs accepts a spec, GET
-// /v1/runs/{id}/events streams NDJSON progress, GET /v1/runs/{id}/artifact
-// returns the finished artifact (byte-identical to a local batch run of the
-// same spec). Completed trials are memoized by content hash, and with
-// -storedir warm channel state persists on disk across submissions and
-// restarts. submit is the matching client: it posts a spec, follows the
-// event stream, and writes the artifact under -out.
+// /v1/runs/{id}/events streams NDJSON progress (resumable with ?from=SEQ),
+// DELETE /v1/runs/{id} cancels a run, GET /v1/runs/{id}/artifact returns the
+// finished artifact (byte-identical to a local batch run of the same spec).
+// Completed trials are memoized by content hash, and with -storedir warm
+// channel state persists on disk across submissions and restarts.
+//
+// With -journal the service is crash-safe: admitted specs and every
+// completed trial land in a write-ahead log before they are acknowledged,
+// so a kill -9 mid-run loses nothing that committed — restart with the same
+// -journal and resubmit the spec, and only the uncommitted trials
+// re-execute, yielding a byte-identical artifact. Admission is bounded
+// (-maxruns executing, -maxpending queued, then 429 + Retry-After), runs
+// can carry a -runtimeout deadline, and SIGTERM/SIGINT drains in-flight
+// runs for up to -grace before checkpointing the journal and exiting.
+//
+// submit is the matching client: it posts a spec, follows the event stream,
+// and writes the artifact under -out. It retries refused connections and
+// admission pushback with exponential backoff, reconnects severed event
+// streams at the last seen offset, and resubmits runs a server restart
+// interrupted.
 //
 // Noise kinds: none, memory, mee512, mee4k. Policies: lru (default),
 // tree-plru, bit-plru, fifo, random, nru, srrip.
@@ -61,6 +77,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"meecc"
 	"meecc/internal/core"
@@ -94,9 +111,17 @@ var (
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 
-	addr     = flag.String("addr", "127.0.0.1:8311", "listen/target address for serve/submit")
-	storeDir = flag.String("storedir", "", "snapstore directory for serve's warm-state disk tier (empty = in-memory only)")
-	storeMax = flag.Int64("storemax", 0, "snapstore size bound in bytes (0 = unbounded)")
+	addr         = flag.String("addr", "127.0.0.1:8311", "listen/target address for serve/submit")
+	storeDir     = flag.String("storedir", "", "snapstore directory for serve's warm-state disk tier (empty = in-memory only)")
+	storeMax     = flag.Int64("storemax", 0, "snapstore size bound in bytes (0 = unbounded)")
+	journalPath  = flag.String("journal", "", "serve's write-ahead log; makes runs and trials durable across kill -9 (empty = no durability)")
+	maxRuns      = flag.Int("maxruns", 4, "serve: max concurrently executing runs")
+	maxPending   = flag.Int("maxpending", 64, "serve: max queued runs before submissions get 429")
+	runTimeout   = flag.Duration("runtimeout", 0, "serve: per-run wall-clock deadline (0 = none)")
+	grace        = flag.Duration("grace", 10*time.Second, "serve: shutdown grace period for in-flight runs")
+	readTimeout  = flag.Duration("readtimeout", 30*time.Second, "serve: HTTP read timeout per request")
+	writeTimeout = flag.Duration("writetimeout", 10*time.Minute, "serve: HTTP write timeout (bounds event-stream lifetime)")
+	idleTimeout  = flag.Duration("idletimeout", 2*time.Minute, "serve: HTTP keep-alive idle timeout")
 
 	metricsOn  = flag.Bool("metrics", false, "collect metrics and print a report after the run")
 	metricsOut = flag.String("metricsout", "", "write the metrics snapshot JSON to this file")

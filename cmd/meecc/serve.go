@@ -1,12 +1,9 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -20,32 +17,54 @@ import (
 )
 
 // runServe starts the experiment service on -addr and blocks until SIGINT/
-// SIGTERM, then drains connections and flushes -metrics/-metricsout output.
+// SIGTERM. Shutdown is graceful: admission stops, in-flight runs get -grace
+// to finish, the journal checkpoints, and only then do the listeners close.
 func runServe() error {
 	o := observer()
 	srv, err := serve.New(serve.Config{
 		Workers:       *workers,
 		StoreDir:      *storeDir,
 		StoreMaxBytes: *storeMax,
+		JournalPath:   *journalPath,
+		MaxConcurrent: *maxRuns,
+		MaxPending:    *maxPending,
+		RunTimeout:    *runTimeout,
 		Obs:           o,
 	})
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Bound every connection phase so one stuck peer can't pin the
+		// listener: slow request reads, abandoned keep-alives. The write
+		// timeout is generous because event streams legitimately stay open
+		// for a whole run.
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
 	idle := make(chan struct{})
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCh
 		signal.Stop(sigCh)
-		fmt.Fprintln(os.Stderr, "\nmeecc serve: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
+		fmt.Fprintf(os.Stderr, "\nmeecc serve: draining (grace %s)\n", *grace)
+		// Drain the service first — it stops admission, waits out in-flight
+		// runs, and checkpoints the journal; ending the run ends its event
+		// streams, so the HTTP shutdown after it has little left to wait for.
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		srv.Shutdown(ctx)
+		cancel()
+		ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
 		httpSrv.Shutdown(ctx)
+		cancel()
 		close(idle)
 	}()
-	fmt.Printf("meecc serve: listening on http://%s (store: %s)\n", *addr, storeDesc())
+	fmt.Printf("meecc serve: listening on http://%s (store: %s, journal: %s)\n",
+		*addr, storeDesc(), journalDesc())
 	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
 		return err
 	}
@@ -60,9 +79,20 @@ func storeDesc() string {
 	return *storeDir
 }
 
+func journalDesc() string {
+	if *journalPath == "" {
+		return "none — runs die with the process"
+	}
+	return *journalPath
+}
+
 // runSubmit posts -spec to a running service, follows the run's NDJSON
 // event stream, and writes the artifact under -out — the remote counterpart
-// of `meecc batch`, producing byte-identical artifact files.
+// of `meecc batch`, producing byte-identical artifact files. It rides the
+// serve.Client retry machinery: connection refusal and 429/503 pushback
+// back off exponentially, severed event streams reconnect at the last seen
+// offset, and a run interrupted by a server restart is resubmitted — the
+// journal's memo makes the resumption re-execute only uncommitted trials.
 func runSubmit() error {
 	if *specPath == "" {
 		return fmt.Errorf("submit requires -spec FILE (see examples/specs/)")
@@ -79,124 +109,71 @@ func runSubmit() error {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-
-	resp, err := postWithRetry(base+"/v1/runs", data)
-	if err != nil {
-		return err
-	}
-	info, err := decodeInfo(resp)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("run %s (spec %s)\n", info.ID, info.SpecSHA256[:12])
-
-	if err := followEvents(base+info.Events, spec.Name); err != nil {
-		return err
+	client := &serve.Client{
+		BaseURL: base,
+		Backoff: serve.DefaultBackoff,
+		Rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "meecc submit: "+format+"\n", args...)
+		},
 	}
 
-	art, err := http.Get(base + info.Artifact)
-	if err != nil {
-		return err
-	}
-	defer art.Body.Close()
-	body, err := io.ReadAll(art.Body)
-	if err != nil {
-		return err
-	}
-	if art.StatusCode != http.StatusOK {
-		return fmt.Errorf("fetching artifact: %s: %s", art.Status, bytes.TrimSpace(body))
-	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		return err
-	}
-	path := filepath.Join(*outDir, spec.Name+".json")
-	if err := os.WriteFile(path, body, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("artifact: %s\n", path)
-	return nil
-}
-
-// postWithRetry retries refused connections for a few seconds, so a submit
-// raced against a just-started server (the CI smoke test) settles instead of
-// failing. HTTP-level errors are not retried — the server answered.
-func postWithRetry(url string, body []byte) (*http.Response, error) {
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-		if err == nil {
-			return resp, nil
+	const maxResumes = 5
+	for attempt := 0; ; attempt++ {
+		info, err := client.Submit(data)
+		if err != nil {
+			return err
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("connecting to %s: %w", url, err)
+		fmt.Printf("run %s (spec %s)\n", info.ID, info.SpecSHA256[:12])
+
+		last, err := client.Follow(info, 0, renderEvent(spec.Name))
+		if err != nil {
+			return err
 		}
-		time.Sleep(200 * time.Millisecond)
+		switch last.Type {
+		case "done":
+		case "interrupted":
+			if attempt >= maxResumes {
+				return fmt.Errorf("run interrupted %d times; giving up", attempt+1)
+			}
+			fmt.Fprintln(os.Stderr, "meecc submit: server went down mid-run; resubmitting to resume from the journal")
+			continue
+		case "cancelled":
+			fmt.Fprintf(os.Stderr, "meecc submit: run was cancelled; writing the partial artifact\n")
+		default:
+			return fmt.Errorf("run failed: %s", last.Error)
+		}
+
+		body, err := client.Artifact(info)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, spec.Name+".json")
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("artifact: %s\n", path)
+		return nil
 	}
 }
 
-func decodeInfo(resp *http.Response) (*runInfo, error) {
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return nil, fmt.Errorf("submitting spec: %s: %s", resp.Status, bytes.TrimSpace(body))
-	}
-	var info runInfo
-	if err := json.Unmarshal(body, &info); err != nil {
-		return nil, fmt.Errorf("decoding submit response: %w", err)
-	}
-	return &info, nil
-}
-
-// runInfo mirrors the service's submit/status response.
-type runInfo struct {
-	ID         string `json:"id"`
-	SpecSHA256 string `json:"spec_sha256"`
-	Events     string `json:"events"`
-	Artifact   string `json:"artifact"`
-}
-
-// followEvents renders the NDJSON stream as progress lines and returns an
-// error if the run ends in an error event.
-func followEvents(url, name string) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		var ev struct {
-			Type           string `json:"type"`
-			Done, Total    int
-			CellsDone      int `json:"cells_done"`
-			Cells          int
-			Failures       int
-			TrialsExecuted int64  `json:"trials_executed"`
-			TrialsMemoized int64  `json:"trials_memoized"`
-			Error          string `json:"error"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return fmt.Errorf("decoding event %q: %w", sc.Text(), err)
-		}
+// renderEvent turns the run's event stream into progress lines on stderr.
+func renderEvent(name string) func(serve.Event) {
+	return func(ev serve.Event) {
 		switch ev.Type {
 		case "progress":
-			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials, %d/%d cells   ", name, ev.Done, ev.Total, ev.CellsDone, ev.Cells)
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials, %d/%d cells   ",
+				name, ev.Done, ev.Total, ev.CellsDone, ev.Cells)
 		case "done":
 			fmt.Fprintf(os.Stderr, "\r%s: done (%d failures; service totals: %d executed, %d memoized)\n",
 				name, ev.Failures, ev.TrialsExecuted, ev.TrialsMemoized)
-			return nil
-		case "error":
+		case "error", "cancelled", "interrupted":
 			fmt.Fprintln(os.Stderr)
-			return fmt.Errorf("run failed: %s", ev.Error)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("event stream: %w", err)
-	}
-	return fmt.Errorf("event stream ended without a terminal event")
 }
 
 // runHash prints the spec's content hash — the identity under which the

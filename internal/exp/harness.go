@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -91,6 +92,12 @@ type Config struct {
 	// start, in-flight trials drain to completion, and the report comes
 	// back flagged Partial with the undispatched trials marked skipped.
 	Cancel <-chan struct{}
+	// Context, when non-nil, stops the dispatcher exactly like Cancel when
+	// it ends — the hook long-lived callers (the serve service) use to give
+	// runs deadlines and client-initiated cancellation. Run never returns
+	// the context's error: a cancelled run is a Partial report, and the
+	// caller inspects context.Cause to learn why.
+	Context context.Context
 }
 
 // Report is one complete harness run: every trial result in deterministic
@@ -233,19 +240,36 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 			}
 		}()
 	}
+	// Both stop signals feed one select; a nil channel never fires, so the
+	// unconfigured cases cost nothing.
+	var ctxDone <-chan struct{}
+	if cfg.Context != nil {
+		ctxDone = cfg.Context.Done()
+	}
 	dispatched := len(order)
 dispatch:
 	for j, i := range order {
-		if cfg.Cancel != nil {
-			select {
-			case <-cfg.Cancel:
-				dispatched = j
-				break dispatch
-			case idxCh <- i:
-				continue
-			}
+		// Poll the stop signals first: select picks among ready cases at
+		// random, so without this a fired cancel could keep losing coin
+		// flips against ready workers and dispatch trials anyway.
+		select {
+		case <-cfg.Cancel:
+			dispatched = j
+			break dispatch
+		case <-ctxDone:
+			dispatched = j
+			break dispatch
+		default:
 		}
-		idxCh <- i
+		select {
+		case <-cfg.Cancel:
+			dispatched = j
+			break dispatch
+		case <-ctxDone:
+			dispatched = j
+			break dispatch
+		case idxCh <- i:
+		}
 	}
 	close(idxCh)
 	wg.Wait()

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backoff is an exponential-backoff-with-jitter retry policy. The zero
+// value is unusable; start from DefaultBackoff. Delay is deterministic given
+// the rng, so tests can pin a seed and assert exact schedules.
+type Backoff struct {
+	Base     time.Duration // first delay
+	Max      time.Duration // delay ceiling (before jitter)
+	Factor   float64       // multiplier per attempt
+	Jitter   float64       // ± fraction of the delay, e.g. 0.2 for ±20%
+	Attempts int           // total tries, including the first
+}
+
+// DefaultBackoff suits a client talking to a local or same-rack service:
+// ~200ms..5s over 10 tries, ±20% jitter to spread reconnect stampedes.
+var DefaultBackoff = Backoff{
+	Base:     200 * time.Millisecond,
+	Max:      5 * time.Second,
+	Factor:   2,
+	Jitter:   0.2,
+	Attempts: 10,
+}
+
+// Delay returns the wait before retry number attempt (0-based: the delay
+// after the first failure is Delay(0, ...)). A nil rng disables jitter.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if rng != nil && b.Jitter > 0 {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// Client talks to a serve.Server, absorbing the operational failure modes a
+// robust submitter has to survive: connection refusal while the server
+// restarts (retried with exponential backoff), 429/503 admission pushback
+// (retried after the server's Retry-After hint), and event streams severed
+// mid-run (reconnected with ?from= so no event is lost or duplicated).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Backoff is the retry policy; the zero value means DefaultBackoff.
+	Backoff Backoff
+	// Rng jitters retry delays; nil disables jitter (tests want exact
+	// schedules, real submitters should pass a seeded rand.Rand).
+	Rng *rand.Rand
+	// Logf, when non-nil, receives one line per retry (attempt, cause, wait).
+	Logf func(format string, args ...any)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) backoff() Backoff {
+	if c.Backoff.Attempts > 0 {
+		return c.Backoff
+	}
+	return DefaultBackoff
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// retryAfter parses the server's Retry-After hint (seconds form only),
+// returning 0 when absent or malformed.
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retriable reports whether the submit attempt may be retried: transport
+// errors (server down or restarting) and explicit pushback (429, 503) are;
+// anything the server judged about the request itself (4xx) is not.
+func retriable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// Submit posts the spec and returns the accepted run, retrying through
+// restarts and admission pushback per the backoff policy. The server
+// derives the run id from the spec's content hash, so a retried submit that
+// actually landed twice just costs a duplicate run whose trials are all
+// memo hits — never divergent results.
+func (c *Client) Submit(spec []byte) (RunInfo, error) {
+	pol := c.backoff()
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			wait := pol.Delay(attempt-1, c.Rng)
+			if ra := retryAfterErr(lastErr); ra > wait {
+				wait = ra
+			}
+			c.logf("submit retry %d/%d in %s: %v", attempt, pol.Attempts-1, wait.Round(time.Millisecond), lastErr)
+			time.Sleep(wait)
+		}
+		resp, err := c.http().Post(c.BaseURL+"/v1/runs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var info RunInfo
+			if err := json.Unmarshal(body, &info); err != nil {
+				return RunInfo{}, fmt.Errorf("serve: decoding submit response: %w", err)
+			}
+			return info, nil
+		}
+		herr := &httpStatusError{status: resp.StatusCode, retryAfter: retryAfter(resp), body: string(bytes.TrimSpace(body))}
+		if !retriable(resp, nil) {
+			return RunInfo{}, herr
+		}
+		lastErr = herr
+	}
+	return RunInfo{}, fmt.Errorf("serve: submit failed after %d attempts: %w", pol.Attempts, lastErr)
+}
+
+// httpStatusError is a non-2xx submit response.
+type httpStatusError struct {
+	status     int
+	retryAfter time.Duration
+	body       string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.status, e.body)
+}
+
+// retryAfterErr extracts the server's Retry-After hint from a submit error.
+func retryAfterErr(err error) time.Duration {
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
+}
+
+// Follow streams the run's events from the given offset, invoking fn for
+// each, until the terminal event arrives. A severed stream (server restart,
+// network blip) reconnects with ?from=<next> under the backoff policy, so
+// fn sees every event exactly once. It returns the terminal event.
+func (c *Client) Follow(info RunInfo, from int, fn func(Event)) (Event, error) {
+	pol := c.backoff()
+	next := from
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			wait := pol.Delay(attempt-1, c.Rng)
+			c.logf("event stream retry %d/%d in %s: %v", attempt, pol.Attempts-1, wait.Round(time.Millisecond), lastErr)
+			time.Sleep(wait)
+		}
+		resp, err := c.http().Get(c.BaseURL + info.Events + "?from=" + strconv.Itoa(next))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return Event{}, fmt.Errorf("serve: event stream returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		dec := json.NewDecoder(resp.Body)
+		progressed := false
+		for {
+			var ev Event
+			if err := dec.Decode(&ev); err != nil {
+				resp.Body.Close()
+				// The server ended the stream without a terminal event
+				// (shutdown mid-run) or the connection dropped: resume.
+				lastErr = fmt.Errorf("event stream ended at seq %d: %w", next, err)
+				break
+			}
+			if ev.Seq < next {
+				continue // replay overlap after a stale-offset reset
+			}
+			next = ev.Seq + 1
+			fn(ev)
+			progressed = true
+			if ev.Terminal() {
+				resp.Body.Close()
+				return ev, nil
+			}
+		}
+		if progressed {
+			attempt = 0 // forward progress resets the retry budget
+		}
+	}
+	return Event{}, fmt.Errorf("serve: event stream failed after %d attempts: %w", pol.Attempts, lastErr)
+}
+
+// Artifact fetches the run's artifact bytes, retrying transport errors.
+func (c *Client) Artifact(info RunInfo) ([]byte, error) {
+	pol := c.backoff()
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			wait := pol.Delay(attempt-1, c.Rng)
+			c.logf("artifact retry %d/%d in %s: %v", attempt, pol.Attempts-1, wait.Round(time.Millisecond), lastErr)
+			time.Sleep(wait)
+		}
+		resp, err := c.http().Get(c.BaseURL + info.Artifact)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("serve: artifact returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		return body, nil
+	}
+	return nil, fmt.Errorf("serve: artifact fetch failed after %d attempts: %w", pol.Attempts, lastErr)
+}
+
+// Cancel asks the server to stop the run.
+func (c *Client) Cancel(info RunInfo) error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/v1/runs/"+info.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("serve: cancel returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"meecc/internal/serve"
+)
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := serve.Backoff{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond, Factor: 2, Attempts: 6}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+		400 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt, nil); got != w {
+			t.Errorf("Delay(%d) = %s, want %s", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterStaysBounded(t *testing.T) {
+	b := serve.Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.2, Attempts: 6}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 4; attempt++ {
+		center := b.Delay(attempt, nil)
+		lo := time.Duration(float64(center) * 0.8)
+		hi := time.Duration(float64(center) * 1.2)
+		for i := 0; i < 100; i++ {
+			d := b.Delay(attempt, rng)
+			if d < lo || d > hi {
+				t.Fatalf("Delay(%d) = %s outside [%s, %s]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// fastBackoff keeps retry tests quick.
+var fastBackoff = serve.Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Factor: 2, Attempts: 6}
+
+// TestSubmitRetriesThroughPushback: 429 responses (admission control) are
+// retried, honoring Retry-After, until the server accepts.
+func TestSubmitRetriesThroughPushback(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"run queue is full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.RunInfo{ID: "abc-1", Events: "/v1/runs/abc-1/events"})
+	}))
+	defer ts.Close()
+
+	c := &serve.Client{BaseURL: ts.URL, Backoff: fastBackoff}
+	info, err := c.Submit([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "abc-1" {
+		t.Fatalf("info.ID = %q", info.ID)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d submits, want 3", n)
+	}
+}
+
+// TestSubmitDoesNotRetryClientErrors: a 422 means the spec itself is bad;
+// retrying would never help.
+func TestSubmitDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `{"error":"trials must be >= 1"}`)
+	}))
+	defer ts.Close()
+
+	c := &serve.Client{BaseURL: ts.URL, Backoff: fastBackoff}
+	if _, err := c.Submit([]byte(`{}`)); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("client retried a 422: %d submits", n)
+	}
+}
+
+// TestSubmitRetriesConnectionRefused: a dead server (mid-restart) is a
+// retriable condition, and the client gives up only after its budget.
+func TestSubmitRetriesConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // address is now refused
+
+	c := &serve.Client{BaseURL: ts.URL, Backoff: serve.Backoff{Base: time.Millisecond, Max: time.Millisecond, Factor: 1, Attempts: 3}}
+	start := time.Now()
+	if _, err := c.Submit([]byte(`{}`)); err == nil {
+		t.Fatal("submit to dead server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("gave up after %s; no backoff happened", elapsed)
+	}
+}
+
+// TestFollowResumesSeveredStream: the server drops the event stream without
+// a terminal event (restart mid-run); the client reconnects with ?from= and
+// the caller sees every event exactly once.
+func TestFollowResumesSeveredStream(t *testing.T) {
+	var reqs atomic.Int32
+	events := []serve.Event{
+		{Seq: 0, Type: "queued"},
+		{Seq: 1, Type: "started"},
+		{Seq: 2, Type: "progress", Done: 1, Total: 2},
+		{Seq: 3, Type: "done"},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from, _ := strconv.Atoi(r.URL.Query().Get("from"))
+		enc := json.NewEncoder(w)
+		switch reqs.Add(1) {
+		case 1:
+			if from != 0 {
+				t.Errorf("first request from=%d, want 0", from)
+			}
+			enc.Encode(events[0])
+			enc.Encode(events[1])
+			// Stream severed here: no terminal event.
+		default:
+			if from != 2 {
+				t.Errorf("resumed request from=%d, want 2", from)
+			}
+			for _, ev := range events[from:] {
+				enc.Encode(ev)
+			}
+		}
+	}))
+	defer ts.Close()
+
+	c := &serve.Client{BaseURL: ts.URL, Backoff: fastBackoff}
+	var seen []int
+	last, err := c.Follow(serve.RunInfo{ID: "x", Events: "/v1/runs/x/events"}, 0, func(ev serve.Event) {
+		seen = append(seen, ev.Seq)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" {
+		t.Fatalf("terminal event %q", last.Type)
+	}
+	if want := []int{0, 1, 2, 3}; len(seen) != len(want) {
+		t.Fatalf("saw seqs %v, want %v", seen, want)
+	} else {
+		for i := range want {
+			if seen[i] != want[i] {
+				t.Fatalf("saw seqs %v, want %v", seen, want)
+			}
+		}
+	}
+	if n := reqs.Load(); n != 2 {
+		t.Fatalf("server saw %d stream requests, want 2", n)
+	}
+}
+
+// TestClientEndToEnd drives the real server through the client: submit,
+// follow to done, fetch — the path `meecc submit` takes.
+func TestClientEndToEnd(t *testing.T) {
+	srv, err := serve.New(serve.Config{Workers: 1, RunnerFactory: syntheticFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := &serve.Client{BaseURL: ts.URL, Backoff: fastBackoff}
+	info, err := c.Submit([]byte(synSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := c.Follow(info, 0, func(serve.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" {
+		t.Fatalf("terminal event %q", last.Type)
+	}
+	art, err := c.Artifact(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art) == 0 {
+		t.Fatal("empty artifact")
+	}
+	if err := c.Cancel(info); err == nil {
+		t.Fatal("cancel of finished run succeeded")
+	}
+}

@@ -1,0 +1,231 @@
+package journal_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"meecc/internal/serve/journal"
+	"meecc/internal/snapstore"
+)
+
+// sampleRecords covers every record kind with every field class populated.
+func sampleRecords() []journal.Record {
+	return []journal.Record{
+		{
+			Kind:     journal.KindRun,
+			RunID:    "abcdef123456-1",
+			SpecHash: "deadbeef",
+			Spec:     []byte(`{"name":"smoke","trials":2}`),
+		},
+		{
+			Kind:    journal.KindTrial,
+			Key:     "cellkey/0",
+			Metrics: map[string]float64{"kbps": 35.25, "error_rate": 0.017},
+			Obs:     []byte(`{"schema_version":1}`),
+		},
+		{
+			Kind:     journal.KindTrial,
+			Key:      "cellkey/1",
+			TrialErr: "trial exploded",
+		},
+		{
+			Kind:     journal.KindEnd,
+			RunID:    "abcdef123456-1",
+			Outcome:  "done",
+			Artifact: []byte(`{"schema_version":1,"cells":[]}`),
+		},
+		{Kind: journal.KindCheckpoint},
+	}
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, recs, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(want[0]); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	j2, recs, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("replayed records differ:\n got %+v\nwant %+v", recs, want)
+	}
+
+	// Appends after a reopen land after the replayed records.
+	extra := journal.Record{Kind: journal.KindTrial, Key: "cellkey/2", Metrics: map[string]float64{"v": 1}}
+	if err := j2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, append(want, extra)) {
+		t.Fatalf("after reopen-append, replay returned %d records, want %d", len(recs), len(want)+1)
+	}
+}
+
+// TestTornTailSelfHeals is the crash model: a SIGKILL mid-write leaves a
+// partial final record. Reopening must replay everything before it, truncate
+// the file back to the last record boundary, and accept new appends.
+func TestTornTailSelfHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, 10} { // tear at several depths into the tail
+		torn := append([]byte(nil), data[:len(data)-cut]...)
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, recs, err := journal.Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != len(want)-1 || !reflect.DeepEqual(recs, want[:len(want)-1]) {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), len(want)-1)
+		}
+		// Self-healed: the torn bytes are gone and the journal appends cleanly.
+		healed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(healed) >= len(torn) {
+			t.Fatalf("cut %d: torn tail not truncated (%d >= %d bytes)", cut, len(healed), len(torn))
+		}
+		if err := j.Append(want[len(want)-1]); err != nil {
+			t.Fatalf("cut %d: append after heal: %v", cut, err)
+		}
+		j.Close()
+		_, recs, err = journal.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(recs, want) {
+			t.Fatalf("cut %d: healed journal replayed %d records, want %d", cut, len(recs), len(want))
+		}
+	}
+}
+
+// TestCorruptTailStopsReplay flips a byte inside the last record: the CRC
+// rejects it and replay ends at the previous record.
+func TestCorruptTailStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x40 // inside the final record's payload/CRC
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if !reflect.DeepEqual(recs, want[:len(want)-1]) {
+		t.Fatalf("corrupt tail: replayed %d records, want %d", len(recs), len(want)-1)
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("definitely not a journal file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := journal.Open(path); err == nil {
+		t.Fatal("Open accepted a non-journal file")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for i, rec := range sampleRecords() {
+		got, err := journal.Decode(journal.Encode(rec))
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("record %d round-trip:\n got %+v\nwant %+v", i, got, rec)
+		}
+	}
+	// Trailing garbage inside a valid frame must be rejected, not ignored.
+	payload := append(journal.Encode(sampleRecords()[0]), 0xFF)
+	if _, err := journal.Decode(payload); err == nil {
+		t.Fatal("Decode accepted a payload with trailing bytes")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-payload")}
+	for _, p := range payloads {
+		buf = snapstore.AppendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		var got []byte
+		var err error
+		got, rest, err = snapstore.NextFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after all frames", len(rest))
+	}
+	if _, _, err := snapstore.NextFrame(rest); err == nil {
+		t.Fatal("NextFrame on empty input succeeded")
+	}
+}

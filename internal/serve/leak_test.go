@@ -1,0 +1,69 @@
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"meecc/internal/core"
+	"meecc/internal/exp"
+	"meecc/internal/obs"
+	"meecc/internal/serve"
+)
+
+// TestShutdownReclaimsGoroutines mirrors sim's Engine.Close leak test for
+// the service layer: every worker and run goroutine a Server starts must
+// exit under Shutdown, even with a run frozen mid-flight when the grace
+// period expires. Operators restart this service in place; a goroutine
+// leaked per restart cycle would be a slow memory death.
+func TestShutdownReclaimsGoroutines(t *testing.T) {
+	countGoroutines := func() int {
+		runtime.GC()
+		return runtime.NumGoroutine()
+	}
+	base := countGoroutines()
+
+	for i := 0; i < 10; i++ {
+		started := make(chan struct{}, 1)
+		slow := func(study string, warm *core.WarmCache) (exp.Runner, error) {
+			return func(j exp.Job) (exp.Metrics, *obs.Snapshot, error) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				time.Sleep(2 * time.Millisecond) // long enough to be mid-run at shutdown
+				return exp.Metrics{"v": 1}, nil, nil
+			}, nil
+		}
+		srv, err := serve.New(serve.Config{Workers: 2, MaxConcurrent: 2, RunnerFactory: slow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		resp := postSpec(t, ts.URL, `{"name":"leak","study":"synthetic","base_seed":1,"trials":500}`)
+		resp.Body.Close()
+		<-started // the run is executing; shutdown cuts it off mid-flight
+
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		ts.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// A small cushion absorbs unrelated runtime goroutines (GC workers,
+		// test timers) that come and go.
+		if n := countGoroutines(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Shutdown: %d at start, %d now", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

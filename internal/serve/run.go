@@ -1,24 +1,45 @@
 package serve
 
 import (
+	"context"
 	"sync"
 
 	"meecc/internal/exp"
 )
 
-// runState is a run's lifecycle phase.
-type runState string
+// State is a run's lifecycle phase.
+type State string
 
 const (
-	runRunning runState = "running"
-	runDone    runState = "done"
-	runFailed  runState = "failed"
+	// StateQueued: admitted and journaled, waiting for a run slot.
+	StateQueued State = "queued"
+	// StateRunning: trials are executing.
+	StateRunning State = "running"
+	// StateDone: finished; the artifact is available.
+	StateDone State = "done"
+	// StateFailed: the run errored (bad study, deadline exceeded, ...).
+	StateFailed State = "failed"
+	// StateCancelled: stopped by DELETE /v1/runs/{id}; a partial artifact
+	// (flagged partial, cut-off trials marked skipped) is available.
+	StateCancelled State = "cancelled"
+	// StateInterrupted: the process died or drained before the run finished.
+	// The journal keeps every committed trial, so resubmitting the same spec
+	// re-executes only what never committed.
+	StateInterrupted State = "interrupted"
 )
 
-// event is one NDJSON progress line. The terminal event is type "done"
-// (carrying the service's memo counters, the determinism proof a client can
-// check) or "error".
-type event struct {
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s != StateQueued && s != StateRunning
+}
+
+// Event is one NDJSON line of a run's event stream. Seq is the event's
+// offset in the run's history; a client that reconnects with ?from=<seq+1>
+// resumes the stream exactly where it left off. The terminal event is type
+// "done" (carrying the service's memo counters, the determinism proof a
+// client can check), "error", "cancelled", or "interrupted".
+type Event struct {
+	Seq       int    `json:"seq"`
 	Type      string `json:"type"`
 	Done      int    `json:"done,omitempty"`
 	Total     int    `json:"total,omitempty"`
@@ -32,16 +53,25 @@ type event struct {
 	Error          string `json:"error,omitempty"`
 }
 
-// runInfo is the submit/status response body.
-type runInfo struct {
-	ID         string   `json:"id"`
-	Name       string   `json:"name"`
-	Study      string   `json:"study"`
-	SpecSHA256 string   `json:"spec_sha256"`
-	State      runState `json:"state"`
-	Events     string   `json:"events"`
-	Artifact   string   `json:"artifact"`
-	Error      string   `json:"error,omitempty"`
+// Terminal reports whether the event ends its run's stream.
+func (e Event) Terminal() bool {
+	switch e.Type {
+	case "done", "error", "cancelled", "interrupted":
+		return true
+	}
+	return false
+}
+
+// RunInfo is the submit/status response body.
+type RunInfo struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Study      string `json:"study"`
+	SpecSHA256 string `json:"spec_sha256"`
+	State      State  `json:"state"`
+	Events     string `json:"events"`
+	Artifact   string `json:"artifact"`
+	Error      string `json:"error,omitempty"`
 }
 
 // run is one submitted spec moving through the service.
@@ -51,11 +81,14 @@ type run struct {
 	specHash string
 
 	mu       sync.Mutex
-	state    runState
-	events   []event
+	state    State
+	events   []Event
 	notify   chan struct{} // closed and replaced on every append
 	artifact []byte
 	errMsg   string
+	// cancel tears down the run's context (set while executing, and for
+	// queued runs so DELETE can reject them before they start).
+	cancel context.CancelCauseFunc
 }
 
 func newRun(id string, spec *exp.Spec, hash string) *run {
@@ -63,17 +96,17 @@ func newRun(id string, spec *exp.Spec, hash string) *run {
 		id:       id,
 		spec:     spec,
 		specHash: hash,
-		state:    runRunning,
+		state:    StateQueued,
 		notify:   make(chan struct{}),
 	}
-	ru.emit(event{Type: "queued"})
+	ru.emit(Event{Type: "queued"})
 	return ru
 }
 
-func (ru *run) info() runInfo {
+func (ru *run) info() RunInfo {
 	ru.mu.Lock()
 	defer ru.mu.Unlock()
-	return runInfo{
+	return RunInfo{
 		ID:         ru.id,
 		Name:       ru.spec.Name,
 		Study:      ru.spec.Study,
@@ -86,25 +119,51 @@ func (ru *run) info() runInfo {
 }
 
 // emit appends an event and wakes every streaming client.
-func (ru *run) emit(ev event) {
+func (ru *run) emit(ev Event) {
 	ru.mu.Lock()
 	defer ru.mu.Unlock()
 	ru.emitLocked(ev)
 }
 
-func (ru *run) emitLocked(ev event) {
+func (ru *run) emitLocked(ev Event) {
+	ev.Seq = len(ru.events)
 	ru.events = append(ru.events, ev)
 	close(ru.notify)
 	ru.notify = make(chan struct{})
+}
+
+// start transitions queued → running and installs the cancel hook; it
+// returns false if the run is already terminal (cancelled while queued).
+func (ru *run) start(cancel context.CancelCauseFunc) bool {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	if ru.state.terminal() {
+		return false
+	}
+	ru.state = StateRunning
+	ru.cancel = cancel
+	ru.emitLocked(Event{Type: "started"})
+	return true
+}
+
+// cancelWith tears down the run's context with the given cause; a no-op for
+// runs that are terminal or have no context yet.
+func (ru *run) cancelWith(cause error) {
+	ru.mu.Lock()
+	cancel := ru.cancel
+	ru.mu.Unlock()
+	if cancel != nil {
+		cancel(cause)
+	}
 }
 
 // finish records the canonical artifact and emits the terminal done event.
 func (ru *run) finish(artifact []byte, failures int, st Stats) {
 	ru.mu.Lock()
 	defer ru.mu.Unlock()
-	ru.state = runDone
+	ru.state = StateDone
 	ru.artifact = artifact
-	ru.emitLocked(event{
+	ru.emitLocked(Event{
 		Type:           "done",
 		Failures:       failures,
 		TrialsExecuted: st.TrialsExecuted,
@@ -116,22 +175,91 @@ func (ru *run) finish(artifact []byte, failures int, st Stats) {
 func (ru *run) fail(err error) {
 	ru.mu.Lock()
 	defer ru.mu.Unlock()
-	ru.state = runFailed
+	ru.state = StateFailed
 	ru.errMsg = err.Error()
-	ru.emitLocked(event{Type: "error", Error: ru.errMsg})
+	ru.emitLocked(Event{Type: "error", Error: ru.errMsg})
 }
 
-// eventsFrom returns the events at and after index `from`, the channel that
-// closes on the next append, and whether the run has reached a terminal
-// state.
-func (ru *run) eventsFrom(from int) ([]event, <-chan struct{}, bool) {
+// cancelled marks the run client-cancelled, keeping whatever partial
+// artifact the drain produced.
+func (ru *run) cancelled(artifact []byte) {
 	ru.mu.Lock()
 	defer ru.mu.Unlock()
-	var evs []event
+	if ru.state.terminal() {
+		return
+	}
+	ru.state = StateCancelled
+	ru.artifact = artifact
+	ru.emitLocked(Event{Type: "cancelled"})
+}
+
+// cancelIfQueued atomically cancels a run that has not started executing.
+// It returns false once the run is running or terminal, and the caller falls
+// back to context cancellation; the check and the transition share the run's
+// mutex with start, so the two paths can never both claim the run.
+func (ru *run) cancelIfQueued() bool {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	if ru.state != StateQueued {
+		return false
+	}
+	ru.state = StateCancelled
+	ru.emitLocked(Event{Type: "cancelled"})
+	return true
+}
+
+// restore applies a terminal state replayed from the journal, re-emitting
+// the terminal event so late stream subscribers still see the run end.
+func (ru *run) restore(state State, artifact []byte, errMsg string) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	ru.state = state
+	ru.artifact = artifact
+	ru.errMsg = errMsg
+	switch state {
+	case StateDone:
+		ru.emitLocked(Event{Type: "done"})
+	case StateCancelled:
+		ru.emitLocked(Event{Type: "cancelled"})
+	default:
+		ru.emitLocked(Event{Type: "error", Error: errMsg})
+	}
+}
+
+// interrupted marks the run cut off by shutdown; committed trials stay in
+// the journal, so the run is resumable by resubmitting its spec.
+func (ru *run) interrupted() {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	if ru.state.terminal() {
+		return
+	}
+	ru.state = StateInterrupted
+	ru.emitLocked(Event{Type: "interrupted", Error: "server shut down before the run finished; resubmit the spec to resume"})
+}
+
+// snapshotState returns the current state.
+func (ru *run) snapshotState() State {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	return ru.state
+}
+
+// eventsFrom returns the events at and after index `from` (clamped to the
+// available history — a client resuming against a restarted server may hold
+// an offset from a longer, pre-crash history), the channel that closes on
+// the next append, and whether the run has reached a terminal state.
+func (ru *run) eventsFrom(from int) ([]Event, <-chan struct{}, bool) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	if from > len(ru.events) {
+		from = 0 // stale offset from a previous incarnation: replay all
+	}
+	var evs []Event
 	if from < len(ru.events) {
 		evs = append(evs, ru.events[from:]...)
 	}
-	return evs, ru.notify, ru.state != runRunning
+	return evs, ru.notify, ru.state.terminal()
 }
 
 func (ru *run) eventCount() int {
@@ -141,7 +269,7 @@ func (ru *run) eventCount() int {
 }
 
 // result returns the terminal artifact and state.
-func (ru *run) result() ([]byte, runState, string) {
+func (ru *run) result() ([]byte, State, string) {
 	ru.mu.Lock()
 	defer ru.mu.Unlock()
 	return ru.artifact, ru.state, ru.errMsg

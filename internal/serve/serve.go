@@ -1,26 +1,41 @@
 // Package serve exposes the experiment harness as a long-lived HTTP
-// service: clients POST declarative exp specs, follow progress as an NDJSON
-// event stream, and fetch the finished versioned artifact. The service
-// preserves the harness's determinism contract end to end — an artifact
-// served over HTTP is byte-identical to what `meecc batch` writes locally
-// for the same spec, at any worker count — and adds two persistence layers
-// on top: completed trials are memoized by cell content hash (resubmitting a
-// spec re-executes nothing), and warm channel state is spilled to and
-// faulted from a snapstore, so calibration work survives across submissions
-// and process restarts.
+// service: clients POST declarative exp specs, follow progress as a
+// resumable NDJSON event stream, and fetch the finished versioned artifact.
+// The service preserves the harness's determinism contract end to end — an
+// artifact served over HTTP is byte-identical to what `meecc batch` writes
+// locally for the same spec, at any worker count — and is built to survive
+// operations: completed trials are memoized by cell content hash and
+// journaled to a write-ahead log (a kill -9 mid-run loses nothing that
+// committed; resubmitting the spec re-executes only the rest), admission is
+// bounded (429 + Retry-After under overload), runs carry deadlines and can
+// be cancelled, SIGTERM drains in-flight work up to a grace period, and warm
+// channel state is spilled to and faulted from a snapstore.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"meecc/internal/core"
 	"meecc/internal/exp"
 	"meecc/internal/obs"
+	"meecc/internal/serve/journal"
 	"meecc/internal/snapstore"
 )
+
+// errShutdown is the cancellation cause for runs cut off by Shutdown: they
+// stay resumable (no terminal journal record).
+var errShutdown = errors.New("serve: server shutting down")
+
+// errClientCancel is the cancellation cause for DELETE /v1/runs/{id}.
+var errClientCancel = errors.New("serve: run cancelled by client")
 
 // Config shapes a Server.
 type Config struct {
@@ -34,32 +49,68 @@ type Config struct {
 	StoreMaxBytes int64
 	// WarmCapacity bounds the in-memory warm-state tier (<= 0 = default).
 	WarmCapacity int
+	// JournalPath, when non-empty, opens the write-ahead run journal there:
+	// admitted specs and completed trials become durable, the memo table is
+	// rebuilt on startup, and interrupted runs are resumable. Empty keeps
+	// everything in process memory (it dies with the process).
+	JournalPath string
+	// MaxConcurrent bounds simultaneously executing runs (<= 0 means 2).
+	MaxConcurrent int
+	// MaxPending bounds the admitted-but-not-started run queue (<= 0 means
+	// 16). A full queue rejects submissions with 429 + Retry-After.
+	MaxPending int
+	// RunTimeout is each run's wall-clock deadline (<= 0 means none). A run
+	// that exceeds it stops dispatching trials, drains, and fails; its
+	// committed trials stay journaled.
+	RunTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (<= 0 means 1 MiB).
+	MaxBodyBytes int64
 	// Obs, when non-nil, receives the service's counters
 	// (serve.runs_submitted, serve.trials_executed, serve.trials_memoized,
-	// serve.warm_disk_loads, serve.warm_disk_spills).
+	// serve.journal_replayed, serve.runs_resumed, serve.rejected_overload,
+	// serve.journal_errors, serve.warm_disk_loads, serve.warm_disk_spills).
 	Obs *obs.Observer
+	// RunnerFactory, when non-nil, overrides how study names resolve to
+	// trial runners (tests inject synthetic studies; nil uses
+	// exp.RunnerWithWarmCache). The returned runner must obey the exp.Runner
+	// purity contract or every durability guarantee here is void.
+	RunnerFactory func(study string, warm *core.WarmCache) (exp.Runner, error)
 }
 
 // Stats is a snapshot of the service's counters.
 type Stats struct {
-	RunsSubmitted  int64
-	TrialsExecuted int64
-	TrialsMemoized int64
-	Warm           core.WarmCacheStats
+	RunsSubmitted    int64
+	TrialsExecuted   int64
+	TrialsMemoized   int64
+	JournalReplayed  int64 // records replayed at startup
+	RunsResumed      int64 // non-terminal runs found in the journal
+	RejectedOverload int64 // submissions bounced with 429
+	JournalErrors    int64 // failed journal appends (durability degraded)
+	Warm             core.WarmCacheStats
 }
 
 // Server is the HTTP handler. Create with New; safe for concurrent use.
+// Call Shutdown (or Close) to drain it — worker goroutines run until then.
 type Server struct {
-	cfg  Config
-	warm *core.WarmCache
-	mux  *http.ServeMux
+	cfg     Config
+	warm    *core.WarmCache
+	mux     *http.ServeMux
+	journal *journal.Journal
 
-	mu    sync.Mutex
-	runs  map[string]*run
-	order []string // insertion order, for listing
-	subs  map[string]int
-	memo  map[string]memoTrial
-	stats Stats
+	queue   chan *run     // admitted runs waiting for a slot
+	quit    chan struct{} // closed when drain begins: workers stop picking
+	done    chan struct{} // closed when shutdown completes: streams end
+	workers sync.WaitGroup
+	running sync.WaitGroup // runs currently executing
+
+	mu       sync.Mutex
+	draining bool
+	pending  int // runs sitting in queue (reserves channel capacity)
+	runs     map[string]*run
+	order    []string // insertion order, for listing
+	subs     map[string]int
+	memo     map[string]memoTrial
+	stats    Stats
 }
 
 // memoTrial is one completed trial's result, keyed by the cell memo key and
@@ -71,8 +122,18 @@ type memoTrial struct {
 	err     string
 }
 
-// New builds a server, opening the warm-state store when configured.
+// New builds a server, opening the warm-state store and replaying the
+// journal when configured, and starts its run workers.
 func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 16
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	warm := core.NewWarmCache(cfg.WarmCapacity)
 	if cfg.StoreDir != "" {
 		store, err := snapstore.Open(cfg.StoreDir, cfg.StoreMaxBytes)
@@ -82,19 +143,96 @@ func New(cfg Config) (*Server, error) {
 		warm.AttachStore(store)
 	}
 	s := &Server{
-		cfg:  cfg,
-		warm: warm,
-		runs: map[string]*run{},
-		subs: map[string]int{},
-		memo: map[string]memoTrial{},
+		cfg:   cfg,
+		warm:  warm,
+		queue: make(chan *run, cfg.MaxPending),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		runs:  map[string]*run{},
+		subs:  map[string]int{},
+		memo:  map[string]memoTrial{},
+	}
+	if cfg.JournalPath != "" {
+		jn, recs, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jn
+		s.replay(recs)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
 	return s, nil
+}
+
+// replay rebuilds the memo table and run registry from journal records. Runs
+// with no terminal record were interrupted by a crash or drain: they come
+// back in StateInterrupted, and because every trial they committed is in the
+// memo, resubmitting the same spec re-executes only the remainder.
+func (s *Server) replay(recs []journal.Record) {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case journal.KindRun:
+			spec, err := exp.ParseSpec(rec.Spec)
+			if err != nil {
+				continue // a study this binary no longer knows; skip the run
+			}
+			ru := newRun(rec.RunID, spec, rec.SpecHash)
+			s.runs[rec.RunID] = ru
+			s.order = append(s.order, rec.RunID)
+			// Rebuild the per-spec submission counter so new run ids never
+			// collide with journaled ones.
+			if i := strings.LastIndexByte(rec.RunID, '-'); i >= 0 {
+				if n, err := strconv.Atoi(rec.RunID[i+1:]); err == nil && n > s.subs[rec.SpecHash] {
+					s.subs[rec.SpecHash] = n
+				}
+			}
+		case journal.KindTrial:
+			v := memoTrial{metrics: rec.Metrics, err: rec.TrialErr}
+			if len(rec.Obs) > 0 {
+				snap, err := obs.DecodeSnapshot(rec.Obs)
+				if err != nil {
+					continue // snapshot schema skew: re-execute this trial
+				}
+				v.snap = snap
+			}
+			s.memo[rec.Key] = v
+		case journal.KindEnd:
+			ru := s.runs[rec.RunID]
+			if ru == nil {
+				continue
+			}
+			switch rec.Outcome {
+			case "done":
+				ru.restore(StateDone, rec.Artifact, "")
+			case "cancelled":
+				ru.restore(StateCancelled, rec.Artifact, "")
+			default:
+				ru.restore(StateFailed, nil, rec.ErrMsg)
+			}
+		case journal.KindCheckpoint:
+			// Clean-shutdown marker; nothing to rebuild.
+		}
+	}
+	for _, id := range s.order {
+		ru := s.runs[id]
+		if !ru.snapshotState().terminal() {
+			ru.interrupted()
+			s.stats.RunsResumed++
+			s.cfg.Obs.Counter("serve.runs_resumed").Inc()
+		}
+	}
+	s.stats.JournalReplayed = int64(len(recs))
+	s.cfg.Obs.Counter("serve.journal_replayed").Add(uint64(len(recs)))
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -109,10 +247,35 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// runnerFor resolves a study name through the configured factory.
+func (s *Server) runnerFor(study string) (exp.Runner, error) {
+	if s.cfg.RunnerFactory != nil {
+		return s.cfg.RunnerFactory(study, s.warm)
+	}
+	return exp.RunnerWithWarmCache(study, s.warm)
+}
+
+// journalAppend writes a record to the journal when one is configured. An
+// append failure degrades durability, not service: it is counted and the
+// run proceeds in memory.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.mu.Lock()
+		s.stats.JournalErrors++
+		s.mu.Unlock()
+		s.cfg.Obs.Counter("serve.journal_errors").Inc()
+	}
+}
+
 // handleSubmit accepts a spec, assigns a run id derived from the spec's
-// content hash and a per-spec submission counter, and starts the run.
+// content hash and a per-spec submission counter, journals the admission,
+// and queues the run. Saturated queues reject with 429 + Retry-After; a
+// draining server rejects with 503.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var raw json.RawMessage
 	if err := json.NewDecoder(body).Decode(&raw); err != nil {
 		httpError(w, http.StatusBadRequest, "reading spec: %v", err)
@@ -123,41 +286,104 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	if _, err := exp.RunnerFor(spec.Study); err != nil {
+	if _, err := s.runnerFor(spec.Study); err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	// Canonical spec bytes: what the journal replays and the hash covers.
+	canonical, err := json.Marshal(spec)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding spec: %v", err)
 		return
 	}
 	hash := spec.Hash()
 
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if s.pending >= cap(s.queue) {
+		s.stats.RejectedOverload++
+		s.cfg.Obs.Counter("serve.rejected_overload").Inc()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "run queue is full (%d pending)", cap(s.queue))
+		return
+	}
 	s.subs[hash]++
 	id := fmt.Sprintf("%s-%d", hash[:12], s.subs[hash])
 	ru := newRun(id, spec, hash)
 	s.runs[id] = ru
 	s.order = append(s.order, id)
+	s.pending++
 	s.stats.RunsSubmitted++
 	s.cfg.Obs.Counter("serve.runs_submitted").Inc()
 	s.mu.Unlock()
 
-	go s.execute(ru)
+	// Write-ahead: the admission is durable before the client hears 202.
+	s.journalAppend(journal.Record{Kind: journal.KindRun, RunID: id, SpecHash: hash, Spec: canonical})
+	s.queue <- ru // never blocks: pending < cap was checked under s.mu
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(ru.info())
 }
 
-// execute runs the spec through the harness with the memoizing runner,
-// emitting progress events and capturing the canonical artifact.
+// worker executes queued runs until drain begins.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case ru := <-s.queue:
+			s.mu.Lock()
+			s.pending--
+			s.mu.Unlock()
+			s.execute(ru)
+		}
+	}
+}
+
+// execute runs the spec through the harness with the memoizing, journaling
+// runner under a per-run cancellable context, emitting progress events and
+// capturing the canonical artifact.
 func (s *Server) execute(ru *run) {
-	runner, err := exp.RunnerWithWarmCache(ru.spec.Study, s.warm)
+	s.mu.Lock()
+	if s.draining {
+		// Shutdown will mark still-pending runs interrupted.
+		s.mu.Unlock()
+		return
+	}
+	s.running.Add(1)
+	s.mu.Unlock()
+	defer s.running.Done()
+
+	base, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	ctx := context.Context(base)
+	if s.cfg.RunTimeout > 0 {
+		var stop context.CancelFunc
+		ctx, stop = context.WithTimeout(base, s.cfg.RunTimeout)
+		defer stop()
+	}
+
+	if !ru.start(cancel) {
+		return // cancelled while queued
+	}
+	runner, err := s.runnerFor(ru.spec.Study)
 	if err != nil {
-		ru.fail(err)
+		s.end(ru, "failed", nil, 0, err)
 		return
 	}
 	rep, err := exp.Run(ru.spec, s.memoize(runner), exp.Config{
 		Workers: s.cfg.Workers,
+		Context: ctx,
 		OnProgress: func(p exp.Progress) {
-			ru.emit(event{
+			ru.emit(Event{
 				Type:      "progress",
 				Done:      p.Done,
 				Total:     p.Total,
@@ -167,23 +393,60 @@ func (s *Server) execute(ru *run) {
 		},
 	})
 	if err != nil {
-		ru.fail(err)
+		s.end(ru, "failed", nil, 0, err)
+		return
+	}
+	if rep.Partial {
+		cause := context.Cause(ctx)
+		switch {
+		case errors.Is(cause, errShutdown):
+			// No terminal journal record: the run resumes after restart.
+			ru.interrupted()
+		case errors.Is(cause, context.DeadlineExceeded):
+			s.end(ru, "failed", nil, 0, fmt.Errorf("run exceeded its %s deadline", s.cfg.RunTimeout))
+		default: // client cancel
+			artifact, merr := exp.MarshalArtifact(rep.Artifact())
+			if merr != nil {
+				s.end(ru, "failed", nil, 0, merr)
+				return
+			}
+			s.end(ru, "cancelled", artifact, 0, nil)
+		}
 		return
 	}
 	artifact, err := exp.MarshalArtifact(rep.Artifact())
 	if err != nil {
-		ru.fail(err)
+		s.end(ru, "failed", nil, 0, err)
 		return
 	}
-	st := s.Stats()
-	ru.finish(artifact, rep.Failures(), st)
+	s.end(ru, "done", artifact, rep.Failures(), nil)
+}
+
+// end journals the run's terminal state, then applies it in memory — the
+// same commit order as trials, so a crash between the two replays as
+// terminal rather than losing the outcome.
+func (s *Server) end(ru *run, outcome string, artifact []byte, failures int, err error) {
+	rec := journal.Record{Kind: journal.KindEnd, RunID: ru.id, Outcome: outcome, Artifact: artifact}
+	if err != nil {
+		rec.ErrMsg = err.Error()
+	}
+	s.journalAppend(rec)
+	switch outcome {
+	case "done":
+		ru.finish(artifact, failures, s.Stats())
+	case "cancelled":
+		ru.cancelled(artifact)
+	default:
+		ru.fail(err)
+	}
 }
 
 // memoize wraps a runner with the trial memo: results are replayed by
-// (cell memo key, trial) content address instead of re-executed. The memo
-// key covers everything a trial depends on, so a hit is exact; specs that
-// share cells (including resubmissions under a different name) share
-// entries.
+// (cell memo key, trial) content address instead of re-executed, and every
+// freshly executed result is journaled before it is used. The memo key
+// covers everything a trial depends on, so a hit is exact; specs that share
+// cells (including resubmissions under a different name) share entries, and
+// a restart rebuilds the table from the journal.
 func (s *Server) memoize(runner exp.Runner) exp.Runner {
 	return func(j exp.Job) (exp.Metrics, *obs.Snapshot, error) {
 		key := fmt.Sprintf("%s/%d", j.Spec.CellMemoKey(j.Cell), j.Trial)
@@ -205,6 +468,13 @@ func (s *Server) memoize(runner exp.Runner) exp.Runner {
 		if err != nil {
 			v.err = err.Error()
 		}
+		s.journalAppend(journal.Record{
+			Kind:     journal.KindTrial,
+			Key:      key,
+			Metrics:  m,
+			Obs:      snap.Encode(),
+			TrialErr: v.err,
+		})
 		s.mu.Lock()
 		s.memo[key] = v
 		s.stats.TrialsExecuted++
@@ -212,6 +482,73 @@ func (s *Server) memoize(runner exp.Runner) exp.Runner {
 		s.mu.Unlock()
 		return m, snap, err
 	}
+}
+
+// Shutdown drains the service: admission stops immediately (submissions get
+// 503 + Retry-After), in-flight runs get until ctx's deadline to finish on
+// their own, then their dispatchers stop and in-flight trials drain. Every
+// committed trial is already journaled, so anything cut off resumes on
+// restart; a clean checkpoint is journaled and synced before return.
+// Idempotent: later calls wait for the first to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.quit)
+
+	finished := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		// Grace expired: stop dispatching trials; in-flight ones drain.
+		s.mu.Lock()
+		live := make([]*run, 0, len(s.runs))
+		for _, ru := range s.runs {
+			live = append(live, ru)
+		}
+		s.mu.Unlock()
+		for _, ru := range live {
+			ru.cancelWith(errShutdown)
+		}
+		<-finished
+	}
+	s.workers.Wait()
+
+	// Runs that never started (still queued) end their streams here; with no
+	// terminal journal record they are resumable after restart.
+	s.mu.Lock()
+	for _, id := range s.order {
+		if ru := s.runs[id]; !ru.snapshotState().terminal() {
+			ru.interrupted()
+		}
+	}
+	s.mu.Unlock()
+
+	if s.journal != nil {
+		s.journalAppend(journal.Record{Kind: journal.KindCheckpoint})
+		s.journal.Sync()
+		s.journal.Close()
+	}
+	close(s.done)
+	return nil
+}
+
+// Close shuts the server down with no grace period: dispatchers stop at the
+// next trial boundary, in-flight trials drain, committed work stays
+// journaled.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Shutdown(ctx)
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *run {
@@ -226,7 +563,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *run {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	infos := make([]runInfo, len(s.order))
+	infos := make([]RunInfo, len(s.order))
 	for i, id := range s.order {
 		infos[i] = s.runs[id].info()
 	}
@@ -244,19 +581,52 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(ru.info())
 }
 
-// handleEvents streams the run's event history and then follows it live as
-// NDJSON, one event object per line, ending with the terminal done/error
-// event.
+// handleCancel stops a run: a queued run dies immediately, a running run's
+// dispatcher stops and its in-flight trials drain into a partial artifact.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	if ru.cancelIfQueued() {
+		s.journalAppend(journal.Record{Kind: journal.KindEnd, RunID: ru.id, Outcome: "cancelled"})
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"id": ru.id, "state": string(StateCancelled)})
+		return
+	}
+	if st := ru.snapshotState(); st.terminal() {
+		httpError(w, http.StatusConflict, "run %s is already %s", ru.id, st)
+		return
+	}
+	ru.cancelWith(errClientCancel)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": ru.id, "state": "cancelling"})
+}
+
+// handleEvents streams the run's event history from the requested offset
+// (?from=N, default 0) and then follows it live as NDJSON, one event object
+// per line, ending with the terminal event. A disconnected client resumes by
+// passing the last seq it saw plus one; offsets from a previous server
+// incarnation that overrun the rebuilt history replay from the start.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ru := s.lookup(w, r)
 	if ru == nil {
 		return
 	}
+	next := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad from offset %q", v)
+			return
+		}
+		next = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	next := 0
 	for {
 		evs, notify, terminal := ru.eventsFrom(next)
 		for _, ev := range evs {
@@ -264,16 +634,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		next += len(evs)
-		if flusher != nil && len(evs) > 0 {
-			flusher.Flush()
+		if len(evs) > 0 {
+			next = evs[len(evs)-1].Seq + 1
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
-		if terminal && next == ru.eventCount() {
+		if terminal && next >= ru.eventCount() {
 			return
 		}
 		select {
 		case <-notify:
 		case <-r.Context().Done():
+			return
+		case <-s.done:
+			// Server shut down mid-stream; the client resumes with ?from=.
 			return
 		}
 	}
@@ -286,10 +661,14 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	artifact, state, errMsg := ru.result()
 	switch state {
-	case runDone:
+	case StateDone, StateCancelled:
+		if artifact == nil {
+			httpError(w, http.StatusConflict, "run %s was cancelled before producing an artifact", ru.id)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(artifact)
-	case runFailed:
+	case StateFailed:
 		httpError(w, http.StatusInternalServerError, "run failed: %s", errMsg)
 	default:
 		httpError(w, http.StatusConflict, "run %s is still %s", ru.id, state)

@@ -60,12 +60,29 @@ func submitAndWait(t *testing.T, base string, spec string) (map[string]any, []ma
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
 		events = append(events, e)
-		if e["type"] == "done" || e["type"] == "error" {
+		switch e["type"] {
+		case "done", "error", "cancelled", "interrupted":
 			return info, events
 		}
 	}
 	t.Fatalf("event stream ended without a terminal event (err %v, %d events)", sc.Err(), len(events))
 	return nil, nil
+}
+
+// runState fetches a run's current state via GET /v1/runs/{id}.
+func runState(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	state, _ := info["state"].(string)
+	return state
 }
 
 func fetchArtifact(t *testing.T, base string, info map[string]any) []byte {
@@ -99,6 +116,7 @@ func TestServedArtifactMatchesLocalRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -169,6 +187,7 @@ func TestServeRejectsBadInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

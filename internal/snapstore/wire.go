@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // ErrCorrupt tags any decode failure caused by damaged bytes — truncation,
@@ -45,7 +46,7 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the accumulated payload size.
 func (w *Writer) Len() int { return len(w.buf) }
 
-func (w *Writer) U8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 func (w *Writer) Bool(v bool) {
 	if v {
 		w.U8(1)
@@ -245,6 +246,45 @@ func Seal(kind string, payload []byte) []byte {
 	sum := sha256.Sum256(w.buf)
 	w.Raw(sum[:])
 	return w.buf
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on every
+// platform the simulator targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameOverhead is the per-frame framing cost: u32 length + u32 CRC-32C.
+const frameOverhead = 8
+
+// AppendFrame appends one length-framed, CRC-protected record to dst and
+// returns the extended slice. The layout is u32 payload length, payload
+// bytes, u32 CRC-32C of the payload — small enough to write in a single
+// syscall, so an append-only log built from frames tears at most its final
+// record on a crash. Decode with NextFrame.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+}
+
+// NextFrame splits the first frame off data, returning its payload (aliasing
+// data) and the remaining bytes. Truncated framing, a length that overruns
+// the buffer, and a CRC mismatch all come back as ErrCorrupt: for an
+// append-only log that is the signal to stop replaying — everything before
+// this frame is intact, everything from it on is a torn tail.
+func NextFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < frameOverhead {
+		return nil, nil, fmt.Errorf("%w: %d bytes is too short for a frame", ErrCorrupt, len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data)-frameOverhead < n {
+		return nil, nil, fmt.Errorf("%w: frame claims %d payload bytes, %d remain", ErrCorrupt, n, len(data)-frameOverhead)
+	}
+	payload = data[4 : 4+n]
+	want := binary.LittleEndian.Uint32(data[4+n:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, nil, fmt.Errorf("%w: frame CRC mismatch", ErrCorrupt)
+	}
+	return payload, data[frameOverhead+n:], nil
 }
 
 // Unseal validates a sealed blob's framing and checksum and returns its
