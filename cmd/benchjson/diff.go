@@ -11,10 +11,13 @@ import (
 )
 
 // runDiff implements `benchjson diff [-threshold pct] [-metric unit] old new`:
-// a benchstat-style comparison of two bench.json baselines. Repeated counts
-// of one benchmark are averaged; the delta column is (new-old)/old. The exit
-// status is the gate: 0 when every benchmark stays within the regression
-// threshold on the chosen metric, 1 past it, 2 on usage or file errors.
+// a benchstat-style comparison of two bench.json baselines, ending in the
+// geomean delta over the benchmarks present in both. Repeated counts of one
+// benchmark are averaged; the delta column is (new-old)/old. Regressions
+// past the threshold are reported on stderr; by default that report is
+// advisory (exit 0 — the soft gate for noisy smoke timings), while
+// -fail-on-regress turns it into a hard gate (exit 1). Exit 2 means usage
+// or file errors.
 func runDiff(args []string) int {
 	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 10,
@@ -22,6 +25,8 @@ func runDiff(args []string) int {
 	metric := fs.String("metric", "ns/op", "unit the regression gate applies to")
 	subset := fs.Bool("subset", false,
 		"treat old as a superset baseline: only report benchmarks present in new")
+	failOnRegress := fs.Bool("fail-on-regress", false,
+		"exit nonzero when a benchmark regresses past the threshold (default: report only)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-threshold pct] [-metric unit] old.json new.json")
 		fs.PrintDefaults()
@@ -97,7 +102,10 @@ func runDiff(args []string) int {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "  "+r)
 		}
-		return 1
+		if *failOnRegress {
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: advisory only (pass -fail-on-regress to gate on this)")
 	}
 	return 0
 }

@@ -42,11 +42,15 @@ func TestDiffExitCodes(t *testing.T) {
 	if code := runDiff([]string{"-threshold", "10", old, improved}); code != 0 {
 		t.Errorf("improvement exited %d, want 0", code)
 	}
-	if code := runDiff([]string{"-threshold", "10", old, regressed}); code != 1 {
-		t.Errorf("50%% regression exited %d, want 1", code)
+	// Without -fail-on-regress the regression report is advisory.
+	if code := runDiff([]string{"-threshold", "10", old, regressed}); code != 0 {
+		t.Errorf("advisory regression exited %d, want 0", code)
+	}
+	if code := runDiff([]string{"-fail-on-regress", "-threshold", "10", old, regressed}); code != 1 {
+		t.Errorf("hard-gated 50%% regression exited %d, want 1", code)
 	}
 	// A disabled gate never fails on timings.
-	if code := runDiff([]string{"-threshold", "-1", old, regressed}); code != 0 {
+	if code := runDiff([]string{"-fail-on-regress", "-threshold", "-1", old, regressed}); code != 0 {
 		t.Errorf("disabled gate exited %d, want 0", code)
 	}
 	// Usage and unreadable files are reported distinctly from regressions.
@@ -94,7 +98,7 @@ func TestDiffSubsetMode(t *testing.T) {
 		t.Errorf("subset diff exited %d, want 0", code)
 	}
 	regressed := writeBenchFile(t, dir, "reg.json", []Benchmark{bench("BenchmarkA", 200)})
-	if code := runDiff([]string{"-subset", "-threshold", "10", old, regressed}); code != 1 {
+	if code := runDiff([]string{"-subset", "-fail-on-regress", "-threshold", "10", old, regressed}); code != 1 {
 		t.Errorf("subset regression exited %d, want 1", code)
 	}
 }

@@ -267,7 +267,19 @@ func (s *channelSession) evict(th *platform.Thread) {
 // trojanWarm is the sender's pre-transmission work: threshold calibration,
 // Algorithm 1, and the search-phase burst loop the spy locks onto. It
 // reports whether the phase succeeded; on failure s.trojanErr is set.
+// It is split into trojanSetup (everything through the end of the setup
+// budget — the part the epoch kernel leaves on the general engine) and
+// trojanBurst (the scripted search-phase loop the kernel compiles).
 func (s *channelSession) trojanWarm(th *platform.Thread) bool {
+	if !s.trojanSetup(th) {
+		return false
+	}
+	s.trojanBurst(th)
+	return true
+}
+
+// trojanSetup calibrates, runs Algorithm 1, and spins out the setup budget.
+func (s *channelSession) trojanSetup(th *platform.Thread) bool {
 	th.EnterEnclave()
 	base := s.trojanProc.Enclave().Base
 	threshold := calibrateThreshold(th, pageAddrs(base, calPages, s.cfg.Index512))
@@ -286,15 +298,17 @@ func (s *channelSession) trojanWarm(th *platform.Thread) bool {
 		s.trojanErr = fmt.Errorf("core: trojan setup overran its budget (%d > %d)", th.Now(), s.tSetupEnd)
 		return false
 	}
-
-	// Search phase: burst continuously so the spy can find which of its
-	// addresses conflicts with the eviction set.
 	th.SpinUntil(s.tSetupEnd)
+	return true
+}
+
+// trojanBurst is the search phase: burst continuously so the spy can find
+// which of its addresses conflicts with the eviction set.
+func (s *channelSession) trojanBurst(th *platform.Thread) {
 	for th.Now() < s.t0-20_000 {
 		s.evict(th)
 		th.Spin(1000)
 	}
-	return true
 }
 
 // trojanTransmit is Algorithm 2, the trojan's operation.
@@ -309,9 +323,20 @@ func (s *channelSession) trojanTransmit(th *platform.Thread) {
 	}
 }
 
+// spySamples is how many times monitor discovery probes each candidate.
+const spySamples = 10
+
 // spyWarm is the receiver's pre-transmission work: threshold calibration
-// and monitor-address discovery against the trojan's search bursts.
+// and monitor-address discovery against the trojan's search bursts. Like
+// trojanWarm it is split at the setup-budget boundary: spySetup stays on
+// the general engine, spyDiscover is what the epoch kernel compiles.
 func (s *channelSession) spyWarm(th *platform.Thread) bool {
+	s.spySetup(th)
+	return s.spyDiscover(th)
+}
+
+// spySetup calibrates the spy's threshold and spins out the setup budget.
+func (s *channelSession) spySetup(th *platform.Thread) {
 	th.EnterEnclave()
 	base := s.spyProc.Enclave().Base
 	// Calibrate in the second half of the calibration phase, staggered
@@ -320,14 +345,15 @@ func (s *channelSession) spyWarm(th *platform.Thread) bool {
 	s.spyThreshold = calibrateThreshold(th, pageAddrs(base, calPages, s.cfg.Index512))
 	s.res.SpyThreshold = s.spyThreshold
 	th.SpinUntil(s.tSetupEnd)
+}
 
-	// Monitor discovery: sample each candidate while the trojan bursts;
-	// the address the bursts keep evicting is the monitor.
-	const samples = 10
+// spyDiscover is monitor discovery: sample each candidate while the trojan
+// bursts; the address the bursts keep evicting is the monitor.
+func (s *channelSession) spyDiscover(th *platform.Thread) bool {
 	bestScore, monitor := -1, enclave.VAddr(0)
 	for _, cand := range s.spyCands {
 		score := 0
-		for i := 0; i < samples; i++ {
+		for i := 0; i < spySamples; i++ {
 			th.Access(cand)
 			th.Flush(cand)
 			th.SpinUntil(th.Now() + 40_000) // several burst periods
@@ -340,13 +366,19 @@ func (s *channelSession) spyWarm(th *platform.Thread) bool {
 			bestScore, monitor = score, cand
 		}
 	}
+	return s.finishDiscovery(th.Now(), bestScore, monitor)
+}
+
+// finishDiscovery applies the discovery acceptance checks shared by the
+// general engine and the epoch kernel.
+func (s *channelSession) finishDiscovery(now sim.Cycles, bestScore int, monitor enclave.VAddr) bool {
 	s.res.MonitorScore = bestScore
-	if bestScore < samples*6/10 {
-		s.spyErr = fmt.Errorf("core: monitor discovery failed (best score %d/%d)", bestScore, samples)
+	if bestScore < spySamples*6/10 {
+		s.spyErr = fmt.Errorf("core: monitor discovery failed (best score %d/%d)", bestScore, spySamples)
 		return false
 	}
-	if th.Now() > s.t0 {
-		s.spyErr = fmt.Errorf("core: spy search overran its budget (%d > %d)", th.Now(), s.t0)
+	if now > s.t0 {
+		s.spyErr = fmt.Errorf("core: spy search overran its budget (%d > %d)", now, s.t0)
 		return false
 	}
 	s.monitor = monitor
@@ -471,6 +503,9 @@ func RunChannel(cfg ChannelConfig) (*ChannelResult, error) {
 	s, err := prepareChannel(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if s.epochEligible() {
+		return s.runEpoch()
 	}
 	cfg = s.cfg
 	plat := cfg.boot()

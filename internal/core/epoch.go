@@ -1,0 +1,521 @@
+package core
+
+import (
+	"os"
+	"sync/atomic"
+
+	"meecc/internal/enclave"
+	"meecc/internal/platform"
+	"meecc/internal/sim"
+)
+
+// This file is the channel's epoch execution path: once both sides are past
+// the setup budget, the remaining work — the trojan's search burst, the
+// spy's monitor discovery, the Algorithm 2 transmission, and any background
+// noise workload — is a fully scripted op sequence over a fixed set of
+// threads. The session compiles that sequence into sim.EpochLane state
+// machines that execute inline (no goroutines, no channel handoffs) against
+// the exact same Thread model code as the general engine: each lane owns a
+// laneCursor implementing platform.Timeline, so every Access/Flush/TimerNow
+// runs the same code, draws the same rng values, and commits in the same
+// global (clock, spawn id) order. The only transformation beyond scheduling
+// is the waitUntilTimer collapse: a poll loop whose reads are effect-free
+// (no rng with jitter disabled, no shared state) is advanced analytically
+// in one step to the clock the final poll would have reached.
+//
+// Eligibility is conservative: any spawn the kernel cannot script (fault
+// injection), any observer (the engine's Semantic op counters must keep
+// counting), or any study callback keeps the session on the general DES
+// engine. The cross-engine oracle test asserts byte-identical artifacts.
+
+// forceGeneral pins every channel session to the general DES engine. Test
+// hook plus the MEECC_FORCE_GENERAL_ENGINE environment variable (used by
+// ci.sh to exercise the fallback path under the race detector).
+var forceGeneral atomic.Bool
+
+func init() {
+	if os.Getenv("MEECC_FORCE_GENERAL_ENGINE") != "" {
+		forceGeneral.Store(true)
+	}
+}
+
+// SetForceGeneralEngineForTest makes every subsequent channel run use the
+// general DES engine even when it is epoch-eligible. Call with false to
+// restore the default. Test hook only — it is process-global.
+func SetForceGeneralEngineForTest(v bool) { forceGeneral.Store(v) }
+
+// epochEligible reports whether the session's post-setup phases can be
+// compiled onto the epoch kernel. Fault campaigns spawn injector actors and
+// perturb timers mid-flight; observers need the engine's per-op Semantic
+// counters; onPlatform callbacks may attach anything. All of those fall
+// back to the general engine.
+func (s *channelSession) epochEligible() bool {
+	return s.cfg.Fault == nil && s.cfg.onPlatform == nil && s.cfg.Obs == nil &&
+		!forceGeneral.Load()
+}
+
+// cleanThreadState reports whether a captured thread state is free of the
+// perturbations (pending stall, timer drift/jitter) the kernel does not
+// model. With fault injection excluded by epochEligible these are always
+// zero; the check is defense in depth.
+func cleanThreadState(st platform.ThreadState) bool {
+	return st.PendingStall == 0 && st.TimerDrift == 0 && st.TimerJitter == 0
+}
+
+// laneCursor is the epoch kernel's Timeline: Advance just moves a number
+// (with the engine's minimum-one-cycle rule), and the (clock, id) pair is
+// the lane's scheduling key.
+type laneCursor struct {
+	clock sim.Cycles
+	id    int
+}
+
+func (c *laneCursor) Now() sim.Cycles { return c.clock }
+
+func (c *laneCursor) Advance(n sim.Cycles) {
+	if n < 1 {
+		n = 1
+	}
+	c.clock += n
+}
+
+func (c *laneCursor) SleepUntil(t sim.Cycles) { c.Advance(t - c.clock) }
+
+// Clock and ID make any lane embedding the cursor a sim.EpochLane (with its
+// own Step).
+func (c *laneCursor) Clock() sim.Cycles { return c.clock }
+func (c *laneCursor) ID() int           { return c.id }
+
+// waitTimerCost is the analytic collapse of waitUntilTimer: the total time
+// the poll loop spends until the first timer read at or past deadline.
+// Poll k reads the quantized timer at clock c+(k-1)*cost, so the loop exits
+// on the first poll at or past d, the first multiple of the resolution that
+// reaches deadline. The polls have no side effects (no rng without jitter,
+// no shared state), so replacing them with one Advance of the same total is
+// invisible to every other lane.
+func waitTimerCost(c, deadline, res, cost sim.Cycles) sim.Cycles {
+	d := (deadline + res - 1) / res * res
+	if c >= d {
+		return cost
+	}
+	k := 1 + (d-c+cost-1)/cost
+	return k * cost
+}
+
+// evictSeq steps channelSession.evict one operation at a time: Access+Flush
+// forward over the set, Mfence, and with two-phase eviction the same
+// backward plus a final Mfence. pos==0 means the sequence is at an
+// iteration boundary (not mid-eviction).
+type evictSeq struct {
+	th  *platform.Thread
+	set []enclave.VAddr
+	two bool
+	pos int
+}
+
+func (e *evictSeq) reset() { e.pos = 0 }
+
+// step executes the next operation and reports whether the sequence is done.
+func (e *evictSeq) step() bool {
+	n := len(e.set)
+	p := e.pos
+	e.pos++
+	fwd := 2 * n
+	switch {
+	case p < fwd:
+		a := e.set[p/2]
+		if p%2 == 0 {
+			e.th.Access(a)
+		} else {
+			e.th.Flush(a)
+		}
+		return false
+	case p == fwd:
+		e.th.Mfence()
+		return !e.two
+	}
+	p -= fwd + 1
+	if p < fwd {
+		a := e.set[n-1-p/2]
+		if p%2 == 0 {
+			e.th.Access(a)
+		} else {
+			e.th.Flush(a)
+		}
+		return false
+	}
+	e.th.Mfence()
+	return true
+}
+
+// Trojan lane states.
+const (
+	tjBurst = iota // search-phase burst loop (eviction sweeps + spins)
+	tjBurstSpin
+	tjWait // transmit: wait for the next window
+	tjEvict
+)
+
+// trojanLane is the sender compiled for the kernel: the search burst (when
+// starting fresh) followed by trojanTransmit.
+type trojanLane struct {
+	laneCursor
+	th    *platform.Thread
+	s     *channelSession
+	ev    evictSeq
+	state int
+	bit   int
+
+	timerRes, timerCost sim.Cycles
+}
+
+func newTrojanLane(id int, clock sim.Cycles, plat *platform.Platform, s *channelSession, st platform.ThreadState, burst bool) *trojanLane {
+	l := &trojanLane{laneCursor: laneCursor{clock: clock, id: id}, s: s}
+	l.th = plat.DetachThread(s.trojanProc, st, &l.laneCursor)
+	l.ev = evictSeq{th: l.th, set: s.evSet, two: s.cfg.TwoPhaseEviction}
+	cfg := plat.Config()
+	l.timerRes, l.timerCost = sim.Cycles(cfg.TimerResolution), sim.Cycles(cfg.TimerReadCost)
+	if !burst {
+		l.state = tjWait
+	}
+	return l
+}
+
+func (l *trojanLane) Step() bool {
+	s := l.s
+	for {
+		switch l.state {
+		case tjBurst:
+			// The continue condition is checked at iteration boundaries
+			// only — a sweep that started keeps going even if the clock
+			// crosses the cutoff mid-sweep, exactly like trojanBurst.
+			if l.ev.pos == 0 && l.th.Now() >= s.t0-20_000 {
+				l.state = tjWait
+				continue
+			}
+			if l.ev.step() {
+				l.ev.reset()
+				l.state = tjBurstSpin
+			}
+			return true
+		case tjBurstSpin:
+			l.th.Spin(1000)
+			l.state = tjBurst
+			return true
+		case tjWait:
+			if l.bit >= len(s.cfg.Bits) {
+				return false
+			}
+			deadline := s.t0 + sim.Cycles(l.bit)*s.cfg.Window
+			l.laneCursor.Advance(waitTimerCost(l.clock, deadline, l.timerRes, l.timerCost))
+			if s.cfg.Bits[l.bit] == 1 {
+				l.ev.reset()
+				l.state = tjEvict
+			} else {
+				l.bit++
+			}
+			return true
+		default: // tjEvict
+			if l.ev.step() {
+				l.bit++
+				l.state = tjWait
+			}
+			return true
+		}
+	}
+}
+
+// Spy lane states.
+const (
+	spDsAccess = iota // discovery: prime the candidate
+	spDsFlush1
+	spDsSpin
+	spDsT1
+	spDsAccess2
+	spDsT2
+	spDsFlush2
+	spWait0 // transmit: wait for t0-5000, prime the monitor
+	spPrime
+	spPrimeFlush
+	spWait // per-window probe
+	spT1
+	spAccess
+	spT2
+	spFlush
+)
+
+// spyLane is the receiver compiled for the kernel: monitor discovery (when
+// starting fresh) followed by spyTransmit.
+type spyLane struct {
+	laneCursor
+	th    *platform.Thread
+	s     *channelSession
+	state int
+
+	// Discovery cursors (spyDiscover's loop variables).
+	cand, sample, score int
+	bestScore           int
+	bestMon             enclave.VAddr
+
+	// Transmit cursors.
+	t1, probe sim.Cycles
+	bit       int
+
+	timerRes, timerCost sim.Cycles
+}
+
+func newSpyLane(id int, clock sim.Cycles, plat *platform.Platform, s *channelSession, st platform.ThreadState, discover bool) *spyLane {
+	l := &spyLane{laneCursor: laneCursor{clock: clock, id: id}, s: s, bestScore: -1}
+	l.th = plat.DetachThread(s.spyProc, st, &l.laneCursor)
+	cfg := plat.Config()
+	l.timerRes, l.timerCost = sim.Cycles(cfg.TimerResolution), sim.Cycles(cfg.TimerReadCost)
+	if !discover {
+		l.state = spWait0
+	}
+	return l
+}
+
+func (l *spyLane) Step() bool {
+	s := l.s
+	switch l.state {
+	case spDsAccess:
+		l.th.Access(s.spyCands[l.cand])
+		l.state = spDsFlush1
+	case spDsFlush1:
+		l.th.Flush(s.spyCands[l.cand])
+		l.state = spDsSpin
+	case spDsSpin:
+		l.th.SpinUntil(l.th.Now() + 40_000) // several burst periods
+		l.state = spDsT1
+	case spDsT1:
+		l.t1 = l.th.TimerNow()
+		l.state = spDsAccess2
+	case spDsAccess2:
+		l.th.Access(s.spyCands[l.cand])
+		l.state = spDsT2
+	case spDsT2:
+		t2 := l.th.TimerNow()
+		if t2-l.t1-sim.Cycles(enclave.TimerReadCycles) > s.spyThreshold {
+			l.score++
+		}
+		l.state = spDsFlush2
+	case spDsFlush2:
+		l.th.Flush(s.spyCands[l.cand])
+		l.sample++
+		l.state = spDsAccess
+		if l.sample == spySamples {
+			if l.score > l.bestScore {
+				l.bestScore, l.bestMon = l.score, s.spyCands[l.cand]
+			}
+			l.sample, l.score = 0, 0
+			l.cand++
+			if l.cand == len(s.spyCands) {
+				if !s.finishDiscovery(l.th.Now(), l.bestScore, l.bestMon) {
+					return false
+				}
+				l.state = spWait0
+			}
+		}
+	case spWait0:
+		l.laneCursor.Advance(waitTimerCost(l.clock, s.t0-5000, l.timerRes, l.timerCost))
+		l.state = spPrime
+	case spPrime:
+		l.th.Access(s.monitor)
+		l.state = spPrimeFlush
+	case spPrimeFlush:
+		l.th.Flush(s.monitor)
+		s.res.Received = make([]byte, len(s.cfg.Bits))
+		s.res.ProbeTimes = make([]sim.Cycles, len(s.cfg.Bits))
+		l.state = spWait
+	case spWait:
+		if l.bit >= len(s.cfg.Bits) {
+			return false
+		}
+		probeOffset := sim.Cycles(float64(s.cfg.Window) * s.cfg.ProbePhase)
+		deadline := s.t0 + sim.Cycles(l.bit)*s.cfg.Window + probeOffset
+		l.laneCursor.Advance(waitTimerCost(l.clock, deadline, l.timerRes, l.timerCost))
+		l.state = spT1
+	case spT1:
+		l.t1 = l.th.TimerNow()
+		l.state = spAccess
+	case spAccess:
+		l.th.Access(s.monitor)
+		l.state = spT2
+	case spT2:
+		t2 := l.th.TimerNow()
+		l.probe = t2 - l.t1 - sim.Cycles(enclave.TimerReadCycles)
+		l.state = spFlush
+	default: // spFlush
+		l.th.Flush(s.monitor)
+		s.res.ProbeTimes[l.bit] = l.probe
+		if l.probe > s.spyThreshold {
+			s.res.Received[l.bit] = 1
+		}
+		l.bit++
+		l.state = spWait
+	}
+	return true
+}
+
+// noiseLane is a background workload compiled for the kernel: the same walk
+// as the noiseSetup.spawn actor bodies, one operation per step, forever
+// (the kernel's run limit truncates it exactly like Engine.Run truncates
+// the actor).
+type noiseLane struct {
+	laneCursor
+	th      *platform.Thread
+	n       *noiseSetup
+	off     int
+	entered bool
+	phase   int // enclave walk: 0 access, 1 flush, 2 spin
+}
+
+// lane compiles the prepared workload as an epoch lane starting at `start`.
+func (n *noiseSetup) lane(id int, start sim.Cycles, plat *platform.Platform) *noiseLane {
+	l := &noiseLane{laneCursor: laneCursor{clock: start, id: id}, n: n}
+	l.th = plat.DetachThread(n.pr, platform.ThreadState{Core: n.core}, &l.laneCursor)
+	return l
+}
+
+func (l *noiseLane) Step() bool {
+	n := l.n
+	if !n.enclave {
+		l.th.Access(n.base + enclave.VAddr(l.off))
+		l.off += n.stride
+		if l.off >= n.pages*enclave.PageBytes {
+			l.off = 0
+		}
+		return true
+	}
+	if !l.entered {
+		l.th.EnterEnclave()
+		l.entered = true
+		return true
+	}
+	va := n.base + enclave.VAddr(l.off)
+	switch l.phase {
+	case 0:
+		l.th.Access(va)
+		l.phase = 1
+	case 1:
+		l.th.Flush(va)
+		l.phase = 2
+	default:
+		l.th.Spin(500)
+		l.phase = 0
+		l.off += n.stride
+		if l.off >= n.pages*enclave.PageBytes {
+			l.off = 0
+		}
+	}
+	return true
+}
+
+// statsLane is spawnStatsReset as a lane: one effect at t0-1 resetting the
+// detector-visible statistics, no simulated time consumed (the actor body
+// never advances either).
+type statsLane struct {
+	laneCursor
+	plat *platform.Platform
+}
+
+func (l *statsLane) Step() bool {
+	l.plat.Caches().LLC().ResetStats()
+	l.plat.MEE().ResetStats()
+	return false
+}
+
+// runEpoch executes a fresh channel session with the warm setup on the
+// general engine and everything after the setup budget on the epoch kernel.
+// The split point is the end of the setup budget: both sides end their
+// setup with SpinUntil(tSetupEnd), a quiescent instant strictly before the
+// first op of the burst, the discovery, the noise workload (t0), and the
+// stats reset (t0-1), so capturing thread state there and re-driving the
+// continuations as lanes preserves the global op order exactly.
+func (s *channelSession) runEpoch() (*ChannelResult, error) {
+	cfg := s.cfg
+	plat := cfg.boot()
+	defer plat.Close()
+	if err := s.createProcs(plat); err != nil {
+		return nil, err
+	}
+
+	var (
+		trojanSt, spySt     platform.ThreadState
+		trojanClk, spyClk   sim.Cycles
+		trojanOK            bool
+	)
+	// Same spawn order as RunChannel's general path (trojan id 0, spy id 1),
+	// so the setup phase is bit-for-bit the general run's prefix.
+	plat.SpawnThread("trojan", s.trojanProc, cfg.TrojanCore, func(th *platform.Thread) {
+		if s.trojanSetup(th) {
+			trojanSt, trojanClk, trojanOK = th.State(), th.Now(), true
+		}
+	})
+	plat.SpawnThread("spy", s.spyProc, cfg.SpyCore, func(th *platform.Thread) {
+		s.spySetup(th)
+		spySt, spyClk = th.State(), th.Now()
+	})
+	// Noise preparation draws from the platform rng; doing it here keeps the
+	// draws at the same stream position as the general path's spawnNoise.
+	noise, err := prepareNoise(plat, cfg.Noise, cfg.NoiseCore)
+	if err != nil {
+		return nil, err
+	}
+	plat.Run(-1)
+
+	if (trojanOK && !cleanThreadState(trojanSt)) || !cleanThreadState(spySt) {
+		// Defensive fallback: nothing epoch-eligible can perturb a thread
+		// during setup, but if something did, finish on the general engine.
+		// Continuation actors keep the relative spawn order (trojan, spy,
+		// noise, stats-reset), so clock ties break identically.
+		if trojanOK {
+			plat.ResumeThread("trojan", s.trojanProc, trojanClk, trojanSt, func(th *platform.Thread) {
+				s.trojanBurst(th)
+				s.trojanTransmit(th)
+			})
+		}
+		plat.ResumeThread("spy", s.spyProc, spyClk, spySt, func(th *platform.Thread) {
+			if s.spyDiscover(th) {
+				s.spyTransmit(th)
+			}
+		})
+		if noise != nil {
+			noise.spawn(plat, s.t0)
+		}
+		s.spawnStatsReset(plat)
+		plat.Run(s.tEnd + cfg.Window)
+		return s.finish(plat, nil)
+	}
+
+	// Lane ids mirror the general path's spawn ids: trojan 0, spy 1, then
+	// noise, then stats-reset. A dead trojan simply has no lane — its ops
+	// vanish from the global order either way.
+	lanes := make([]sim.EpochLane, 0, 4)
+	if trojanOK {
+		lanes = append(lanes, newTrojanLane(0, trojanClk, plat, s, trojanSt, true))
+	}
+	lanes = append(lanes, newSpyLane(1, spyClk, plat, s, spySt, true))
+	nextID := 2
+	if noise != nil {
+		lanes = append(lanes, noise.lane(2, s.t0, plat))
+		nextID = 3
+	}
+	lanes = append(lanes, &statsLane{laneCursor: laneCursor{clock: s.t0 - 1, id: nextID}, plat: plat})
+	sim.RunEpoch(lanes, s.tEnd+cfg.Window)
+	return s.finish(plat, nil)
+}
+
+// runEpochFork executes a warm-forked transmission entirely on the epoch
+// kernel: no actors are ever spawned on the forked platform — the resumed
+// trojan and spy threads and the stats reset run as lanes with the same
+// (clock, id) keys ResumeThread and spawnStatsReset would have given them.
+func (ws *ChannelWarmState) runEpochFork(s *channelSession, plat *platform.Platform) (*ChannelResult, error) {
+	lanes := []sim.EpochLane{
+		newTrojanLane(0, ws.trojanClock, plat, s, ws.trojanSt, false),
+		newSpyLane(1, ws.spyClock, plat, s, ws.spySt, false),
+		&statsLane{laneCursor: laneCursor{clock: s.t0 - 1, id: 2}, plat: plat},
+	}
+	sim.RunEpoch(lanes, s.tEnd+s.cfg.Window)
+	return s.finish(plat, nil)
+}

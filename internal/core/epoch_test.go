@@ -1,0 +1,207 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"meecc/internal/fault"
+	"meecc/internal/obs"
+	"meecc/internal/platform"
+	"meecc/internal/sim"
+)
+
+// runBothEngines runs cfg once on the epoch kernel and once pinned to the
+// general DES engine, returning both results.
+func runBothEngines(t *testing.T, cfg ChannelConfig) (epoch, general *ChannelResult, epochErr, generalErr error) {
+	t.Helper()
+	epoch, epochErr = RunChannel(cfg)
+	SetForceGeneralEngineForTest(true)
+	defer SetForceGeneralEngineForTest(false)
+	general, generalErr = RunChannel(cfg)
+	return
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// TestEpochMatchesGeneralEngine is the cross-engine oracle: for every
+// epoch-eligible configuration shape, the compiled kernel must produce a
+// result (and error) identical to the general DES engine's — probe times,
+// decoded bits, footprint counters, everything.
+func TestEpochMatchesGeneralEngine(t *testing.T) {
+	cases := map[string]func(*ChannelConfig){
+		"default":      func(*ChannelConfig) {},
+		"noise-memory": func(c *ChannelConfig) { c.Noise = NoiseMemory },
+		"noise-mee512": func(c *ChannelConfig) { c.Noise = NoiseMEE512 },
+		"noise-mee4k":  func(c *ChannelConfig) { c.Noise = NoiseMEE4K },
+		"repetition":   func(c *ChannelConfig) { c.Bits = AlternatingBits(4); c.Repetition = 3 },
+		"one-phase":    func(c *ChannelConfig) { c.TwoPhaseEviction = false },
+		"wide-window":  func(c *ChannelConfig) { c.Window = 30000 },
+		// A 1-cycle search budget forces the spy to overrun: discovery is
+		// still in flight at the run limit, so both engines must truncate it
+		// at exactly the same operation and fail the same way.
+		"spy-overrun": func(c *ChannelConfig) { c.SearchBudget = 1 },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultChannelConfig(42)
+			cfg.Bits = AlternatingBits(8)
+			mutate(&cfg)
+			epoch, general, epochErr, generalErr := runBothEngines(t, cfg)
+			if errString(epochErr) != errString(generalErr) {
+				t.Fatalf("error mismatch: epoch=%v general=%v", epochErr, generalErr)
+			}
+			if !reflect.DeepEqual(epoch, general) {
+				t.Fatalf("result mismatch:\nepoch:   %+v\ngeneral: %+v", epoch, general)
+			}
+		})
+	}
+}
+
+// TestEpochForkMatchesGeneralEngine pins the warm-fork transmit path: a
+// forked transmission on the epoch kernel must match both the forked and
+// the fresh transmission on the general engine.
+func TestEpochForkMatchesGeneralEngine(t *testing.T) {
+	cfg := DefaultChannelConfig(7)
+	cfg.Bits = RandomBits(7, 12)
+	ws, err := WarmChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochFork, err := ws.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	SetForceGeneralEngineForTest(true)
+	defer SetForceGeneralEngineForTest(false)
+	wsGen, err := WarmChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generalFork, err := wsGen.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generalFresh, err := RunChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(epochFork, generalFork) {
+		t.Fatalf("fork mismatch:\nepoch:   %+v\ngeneral: %+v", epochFork, generalFork)
+	}
+	if !reflect.DeepEqual(epochFork, generalFresh) {
+		t.Fatalf("fork vs fresh mismatch:\nfork:  %+v\nfresh: %+v", epochFork, generalFresh)
+	}
+}
+
+// TestEpochMatchesLinearOracle stacks the two determinism proofs: the epoch
+// kernel must agree with the general engine running under the forced linear
+// (single-step) scheduler, the repo's ground-truth op ordering.
+func TestEpochMatchesLinearOracle(t *testing.T) {
+	cfg := DefaultChannelConfig(11)
+	cfg.Bits = AlternatingBits(6)
+	cfg.Noise = NoiseMEE512
+	epoch, err := RunChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetForceGeneralEngineForTest(true)
+	sim.SetForceLinearSchedulerForTest(true)
+	defer func() {
+		SetForceGeneralEngineForTest(false)
+		sim.SetForceLinearSchedulerForTest(false)
+	}()
+	linear, err := RunChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(epoch, linear) {
+		t.Fatalf("epoch kernel diverges from linear oracle:\nepoch:  %+v\nlinear: %+v", epoch, linear)
+	}
+}
+
+// TestEpochIneligibleConfigs pins the fallback gate: faults, observers, and
+// study callbacks must keep the session on the general engine.
+func TestEpochIneligibleConfigs(t *testing.T) {
+	mk := func(mutate func(*ChannelConfig)) *channelSession {
+		cfg := DefaultChannelConfig(1)
+		mutate(&cfg)
+		s, err := prepareChannel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if s := mk(func(*ChannelConfig) {}); !s.epochEligible() {
+		t.Error("plain config should be epoch-eligible")
+	}
+	if s := mk(func(c *ChannelConfig) { c.Fault = &fault.Config{Seed: 1} }); s.epochEligible() {
+		t.Error("fault config must not be epoch-eligible")
+	}
+	if s := mk(func(c *ChannelConfig) {
+		c.onPlatform = func(*platform.Platform, sim.Cycles, sim.Cycles) {}
+	}); s.epochEligible() {
+		t.Error("onPlatform config must not be epoch-eligible")
+	}
+	if s := mk(func(c *ChannelConfig) { c.Obs = obs.NewObserver() }); s.epochEligible() {
+		t.Error("observed config must not be epoch-eligible")
+	}
+	SetForceGeneralEngineForTest(true)
+	defer SetForceGeneralEngineForTest(false)
+	if s := mk(func(*ChannelConfig) {}); s.epochEligible() {
+		t.Error("forced-general hook must disable the epoch kernel")
+	}
+}
+
+// waitLoopReference simulates waitUntilTimer poll by poll: starting at
+// clock c, each poll costs `cost` cycles and reads the timer quantized to
+// `res`; it returns the total advance until the first reading >= deadline.
+func waitLoopReference(c, deadline, res, cost sim.Cycles) sim.Cycles {
+	total := sim.Cycles(0)
+	for {
+		total += cost
+		now := c + total - cost // clock at which this poll reads
+		if now/res*res >= deadline {
+			return total
+		}
+		if total > 1<<40 {
+			panic("waitLoopReference diverged")
+		}
+	}
+}
+
+// FuzzEpochFallback fuzzes the two places the epoch kernel deviates from a
+// literal op-for-op replay: the waitUntilTimer analytic collapse (must match
+// the poll loop exactly for any clock/deadline) and the eligibility gate
+// (any fault schedule must force the general engine).
+func FuzzEpochFallback(f *testing.F) {
+	f.Add(uint64(76_000_000), uint64(76_010_000), uint64(0))
+	f.Add(uint64(0), uint64(1), uint64(3))
+	f.Add(uint64(100), uint64(100), uint64(7))
+	f.Add(uint64(35), uint64(34), uint64(12))
+	f.Fuzz(func(t *testing.T, clock, deadline, faultSeed uint64) {
+		const res, cost = sim.Cycles(35), sim.Cycles(50)
+		c := sim.Cycles(clock % (1 << 40))
+		d := sim.Cycles(deadline % (1 << 40))
+		got := waitTimerCost(c, d, res, cost)
+		want := waitLoopReference(c, d, res, cost)
+		if got != want {
+			t.Fatalf("waitTimerCost(%d, %d) = %d, want %d", c, d, got, want)
+		}
+
+		cfg := DefaultChannelConfig(1)
+		cfg.Fault = &fault.Config{Seed: faultSeed}
+		s, err := prepareChannel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.epochEligible() {
+			t.Fatal("config with fault schedule must never compile to the epoch kernel")
+		}
+	})
+}

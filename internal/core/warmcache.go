@@ -29,8 +29,18 @@ type WarmCache struct {
 	cap int
 	m   map[string]*warmEntry
 	lru *list.List // front = most recently used; values are *warmEntry
+	// spilling indexes entries evicted from the LRU whose disk spill (or
+	// computation) is still in flight. A miss that finds its key here adopts
+	// the entry instead of recomputing: without it, a re-warm racing an
+	// in-flight spill sees neither the memory tier (already evicted) nor the
+	// disk tier (not yet written) and duplicates the whole warm phase.
+	spilling map[string]*warmEntry
 
 	store *snapstore.Store
+
+	// testSpillDelay, when set, runs inside spill between eviction and the
+	// store write — a test hook to hold a spill in flight deterministically.
+	testSpillDelay func()
 
 	computes   atomic.Int64
 	diskLoads  atomic.Int64
@@ -52,7 +62,7 @@ func NewWarmCache(capacity int) *WarmCache {
 	if capacity <= 0 {
 		capacity = 16
 	}
-	return &WarmCache{cap: capacity, m: map[string]*warmEntry{}, lru: list.New()}
+	return &WarmCache{cap: capacity, m: map[string]*warmEntry{}, lru: list.New(), spilling: map[string]*warmEntry{}}
 }
 
 // AttachStore enables the disk tier backed by st. Call before handing the
@@ -119,7 +129,13 @@ func (c *WarmCache) Warm(cfg ChannelConfig) (*ChannelWarmState, error) {
 	if ok {
 		c.lru.MoveToFront(e.elem)
 	} else {
-		e = &warmEntry{key: key}
+		// Adopt an entry whose spill is still in flight rather than
+		// recomputing it; otherwise start fresh.
+		if sp, inFlight := c.spilling[key]; inFlight {
+			e = sp
+		} else {
+			e = &warmEntry{key: key}
+		}
 		e.elem = c.lru.PushFront(e)
 		c.m[key] = e
 		for c.lru.Len() > c.cap {
@@ -127,6 +143,7 @@ func (c *WarmCache) Warm(cfg ChannelConfig) (*ChannelWarmState, error) {
 			evict := oldest.Value.(*warmEntry)
 			c.lru.Remove(oldest)
 			delete(c.m, evict.key)
+			c.spilling[evict.key] = evict
 			evicted = append(evicted, evict)
 		}
 	}
@@ -152,6 +169,18 @@ func (c *WarmCache) Warm(cfg ChannelConfig) (*ChannelWarmState, error) {
 // state is rebuilt deterministically on a later miss, so spilling is purely
 // an optimization.
 func (c *WarmCache) spill(store *snapstore.Store, e *warmEntry) {
+	defer func() {
+		// The entry stays adoptable (see Warm) until the spill has landed in
+		// the store — or been abandoned.
+		c.mu.Lock()
+		if c.spilling[e.key] == e {
+			delete(c.spilling, e.key)
+		}
+		c.mu.Unlock()
+	}()
+	if c.testSpillDelay != nil {
+		c.testSpillDelay()
+	}
 	if store == nil || !e.done.Load() || e.err != nil || e.ws == nil {
 		return
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"meecc/internal/sim"
@@ -57,6 +58,71 @@ func TestWarmStateDiskRoundTrip(t *testing.T) {
 	cfg.Options.Seed++
 	if _, err := dec.Run(cfg); err == nil {
 		t.Fatal("decoded warm state accepted an incompatible config")
+	}
+}
+
+// TestWarmCacheSpillSingleflight pins the spill/re-warm race: while an
+// evicted entry's disk spill is still in flight, a miss on the same key must
+// adopt the in-flight entry — not recompute the warm phase (the entry is
+// gone from the memory tier and not yet in the disk tier).
+func TestWarmCacheSpillSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full channel runs in -short mode")
+	}
+	store, err := snapstore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWarmCache(1)
+	c.AttachStore(store)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c.testSpillDelay = func() {
+		// Only the first spill (A's) parks; later spills pass through.
+		first := false
+		once.Do(func() { first = true; close(entered) })
+		if first {
+			<-release
+		}
+	}
+
+	cfgA, cfgB := DefaultChannelConfig(5), DefaultChannelConfig(6)
+	cfgA.Bits = AlternatingBits(4)
+	cfgB.Bits = AlternatingBits(4)
+
+	wsA, err := c.Warm(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Evicts A; its spill parks in testSpillDelay before touching the
+		// store, then B's own warm phase runs.
+		_, err := c.Warm(cfgB)
+		done <- err
+	}()
+	<-entered
+
+	// A is in neither tier right now. Without the in-flight index this
+	// recomputes the warm phase; with it, Warm hands back the same entry.
+	wsA2, err := c.Warm(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsA2 != wsA {
+		t.Error("re-warm during in-flight spill did not adopt the evicted entry")
+	}
+	if st := c.Stats(); st.Computes != 1 || st.DiskLoads != 0 {
+		t.Errorf("during spill: %+v, want 1 compute and 0 disk loads", st)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Computes != 2 || st.DiskLoads != 0 {
+		t.Errorf("after release: %+v, want 2 computes and 0 disk loads", st)
 	}
 }
 

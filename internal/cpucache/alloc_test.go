@@ -58,6 +58,25 @@ func TestWarmAccessAllocFreeWithMetrics(t *testing.T) {
 	}
 }
 
+// TestForkAllocsIndependentOfResidency pins the arena-backed Fork: cloning
+// the hierarchy is a fixed set of slab allocations plus one memcpy, so the
+// allocation count must not scale with how many lines are resident. A
+// per-line clone loop would fail this immediately.
+func TestForkAllocsIndependentOfResidency(t *testing.T) {
+	forkAllocs := func(lines int) float64 {
+		h := New(DefaultConfig(2), cache.NewLRU())
+		var line [dram.LineSize]byte
+		for i := 0; i < lines; i++ {
+			h.Fill(0, dram.Addr(0x10000+i*dram.LineSize), line, i%2 == 0)
+		}
+		return testing.AllocsPerRun(20, func() { h.Fork(nil) })
+	}
+	few, many := forkAllocs(2), forkAllocs(512)
+	if few != many {
+		t.Fatalf("Fork allocations scale with residency: %.1f at 2 lines vs %.1f at 512", few, many)
+	}
+}
+
 // TestFillFlushSteadyStateAllocFree exercises the miss/evict churn: once the
 // lineBuf pool has reached its high-water mark, Fill and Flush recycle
 // buffers and reuse the scratch Victim instead of allocating.

@@ -87,6 +87,16 @@ type Victim struct {
 type lineBuf struct {
 	data  [dram.LineSize]byte
 	dirty bool
+	// valid marks the slot occupied; the slot index is implied by position
+	// in the dense [set*ways+way] slab.
+	valid bool
+	// cores is a conservative mask of cores whose private L1/L2 may still
+	// hold the line: a set bit means "maybe present", a clear bit means
+	// "definitely absent". It lets flushes and back-invalidations skip the
+	// private-cache scans that would find nothing — pure host-side
+	// bookkeeping with no effect on simulated state or statistics (a no-op
+	// Invalidate touches neither replacement state nor counters).
+	cores uint16
 }
 
 // Hierarchy is the multi-core cache stack. Not safe for concurrent use; the
@@ -98,14 +108,16 @@ type Hierarchy struct {
 	llc *cache.Cache
 	// bufs mirrors plaintext content and dirtiness of every LLC-resident
 	// line (inclusive LLC means LLC residency == hierarchy residency). It is
-	// a dense array indexed [set*ways+way] in parallel with the LLC's line
-	// storage, so the hot-path lookup is an array index instead of a map
-	// probe.
-	bufs []*lineBuf
-	// bufFree recycles lineBufs dropped from bufs so the steady-state access
-	// path allocates nothing; victim is the scratch Victim those drops fill.
-	bufFree []*lineBuf
-	victim  Victim
+	// one contiguous value slab indexed [set*ways+way] in parallel with the
+	// LLC's line storage: the hot-path lookup is an array index, dropping a
+	// line is clearing its valid bit, and Fork is a single slab copy.
+	bufs []lineBuf
+	// freeBufs tracks how deep the pointer-era recycling free list would be,
+	// so the linebuf alloc/recycled observability counters keep their exact
+	// historical semantics now that slots are slab-resident.
+	freeBufs int
+	// victim is the scratch Victim that Fill/Flush drops fill.
+	victim Victim
 
 	// Observability (nil when disabled): free-list churn and clflush
 	// counters; per-level cache statistics surface as deferred samples.
@@ -114,16 +126,22 @@ type Hierarchy struct {
 	cFlush      *obs.Counter
 }
 
-func (h *Hierarchy) newLineBuf() *lineBuf {
-	if n := len(h.bufFree); n > 0 {
-		b := h.bufFree[n-1]
-		h.bufFree = h.bufFree[:n-1]
+// countInstall and countDrop keep the linebuf churn counters bit-compatible
+// with the pointer-era free list: an install recycles when a drop preceded
+// it, and allocates otherwise.
+func (h *Hierarchy) countInstall() {
+	if h.freeBufs > 0 {
+		h.freeBufs--
 		h.cBufRecycle.Inc()
-		return b
+		return
 	}
 	h.cBufAlloc.Inc()
-	return &lineBuf{}
 }
+
+func (h *Hierarchy) countDrop() { h.freeBufs++ }
+
+// allCores is the mask with every core's bit set.
+func (h *Hierarchy) allCores() uint16 { return uint16(1)<<h.cfg.Cores - 1 }
 
 // New builds the hierarchy; policy applies to all levels (LRU by default in
 // the platform).
@@ -131,10 +149,13 @@ func New(cfg Config, policy cache.Policy) *Hierarchy {
 	if cfg.Cores <= 0 {
 		panic(fmt.Sprintf("cpucache: invalid core count %d", cfg.Cores))
 	}
+	if cfg.Cores > 16 {
+		panic(fmt.Sprintf("cpucache: core count %d exceeds presence-mask width", cfg.Cores))
+	}
 	h := &Hierarchy{
 		cfg:  cfg,
 		llc:  cache.New("llc", cfg.LLCSets, cfg.LLCWays, policy),
-		bufs: make([]*lineBuf, cfg.LLCSets*cfg.LLCWays),
+		bufs: make([]lineBuf, cfg.LLCSets*cfg.LLCWays),
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		h.l1 = append(h.l1, cache.New(fmt.Sprintf("l1d-%d", c), cfg.L1Sets, cfg.L1Ways, policy))
@@ -151,7 +172,7 @@ func (h *Hierarchy) Fork(rng *rand.Rand) *Hierarchy {
 	n := &Hierarchy{
 		cfg:  h.cfg,
 		llc:  h.llc.Clone(rng),
-		bufs: make([]*lineBuf, len(h.bufs)),
+		bufs: make([]lineBuf, len(h.bufs)),
 	}
 	for _, c := range h.l1 {
 		n.l1 = append(n.l1, c.Clone(rng))
@@ -159,20 +180,7 @@ func (h *Hierarchy) Fork(rng *rand.Rand) *Hierarchy {
 	for _, c := range h.l2 {
 		n.l2 = append(n.l2, c.Clone(rng))
 	}
-	live := 0
-	for _, b := range h.bufs {
-		if b != nil {
-			live++
-		}
-	}
-	slab := make([]lineBuf, live) // one allocation for all resident lines
-	for i, b := range h.bufs {
-		if b != nil {
-			slab[0] = *b
-			n.bufs[i] = &slab[0]
-			slab = slab[1:]
-		}
-	}
+	copy(n.bufs, h.bufs) // value slab: one memcpy clones every resident line
 	return n
 }
 
@@ -187,7 +195,10 @@ func (h *Hierarchy) residentBuf(addr dram.Addr) *lineBuf {
 	if !ok {
 		return nil
 	}
-	return h.bufs[h.bufIdx(set, way)]
+	if b := &h.bufs[h.bufIdx(set, way)]; b.valid {
+		return b
+	}
+	return nil
 }
 
 // Config returns the hierarchy configuration.
@@ -258,26 +269,37 @@ func (h *Hierarchy) Access(core int, addr dram.Addr, write bool) (Level, sim.Cyc
 		h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
 		h.llc.Lookup(h.set(h.llc, addr), tag)
 		lvl, lat = HitL2, sim.Cycles(h.cfg.L2Lat)
-	case h.llc.Lookup(h.set(h.llc, addr), tag):
+	default:
+		set := h.set(h.llc, addr)
+		way, hit := h.llc.LookupWay(set, tag)
+		if !hit {
+			return Miss, sim.Cycles(h.cfg.MissLat)
+		}
 		h.l2[core].Insert(h.set(h.l2[core], addr), tag, false)
 		h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
+		h.bufs[h.bufIdx(set, way)].cores |= 1 << uint(core) // now privately resident here too
 		lvl, lat = HitLLC, sim.Cycles(h.cfg.LLCLat)
-	default:
-		return Miss, sim.Cycles(h.cfg.MissLat)
 	}
 	if write {
-		h.markDirty(addr, true)
-		h.invalidateOthers(core, addr)
+		if b := h.residentBuf(addr); b != nil {
+			b.dirty = true
+			h.invalidateOthers(core, addr, b.cores)
+			b.cores = 1 << uint(core) // sole private holder after write-invalidate
+		} else {
+			h.invalidateOthers(core, addr, h.allCores())
+		}
 	}
 	return lvl, lat
 }
 
 // invalidateOthers drops the line from every core's private caches except
-// the writer's; the line stays in the shared LLC.
-func (h *Hierarchy) invalidateOthers(writer int, addr dram.Addr) {
+// the writer's; the line stays in the shared LLC. mask bounds the cores that
+// can hold the line — scans for cores with a clear bit are guaranteed misses
+// (no state or stat effect) and are skipped.
+func (h *Hierarchy) invalidateOthers(writer int, addr dram.Addr, mask uint16) {
 	tag := h.tag(addr)
 	for c := 0; c < h.cfg.Cores; c++ {
-		if c == writer {
+		if c == writer || mask&(1<<uint(c)) == 0 {
 			continue
 		}
 		h.l1[c].Invalidate(h.set(h.l1[c], addr), tag)
@@ -289,15 +311,6 @@ func (h *Hierarchy) touchShared(core int, addr dram.Addr) {
 	tag := h.tag(addr)
 	h.l2[core].Lookup(h.set(h.l2[core], addr), tag)
 	h.llc.Lookup(h.set(h.llc, addr), tag)
-}
-
-func (h *Hierarchy) markDirty(addr dram.Addr, write bool) {
-	if !write {
-		return
-	}
-	if b := h.residentBuf(addr); b != nil {
-		b.dirty = true
-	}
 }
 
 // Data returns the plaintext view of a resident line, or nil if the line is
@@ -321,28 +334,40 @@ func (h *Hierarchy) Fill(core int, addr dram.Addr, data [dram.LineSize]byte, dir
 	set := h.set(h.llc, addr)
 	way, ev := h.llc.InsertWay(set, tag, false)
 	idx := h.bufIdx(set, way)
+	mask := uint16(1) << uint(core)
 	if ev.Valid {
-		// The victim's buffer sits in the slot the new line just took; pull
+		// The victim's buffer sits in the slot the new line just took; copy
 		// it out before overwriting, then back-invalidate the private caches
-		// (the LLC entry is already gone — Insert replaced it).
+		// (the LLC entry is already gone — Insert replaced it). The victim's
+		// presence mask bounds which cores can still hold it privately.
 		evAddr := dram.Addr(uint64(ev.Tag) * dram.LineSize)
 		evTag := h.tag(evAddr)
+		evb := h.bufs[idx]
+		evMask := evb.cores
+		if !evb.valid {
+			evMask = h.allCores()
+		}
 		for c := 0; c < h.cfg.Cores; c++ {
+			if evMask&(1<<uint(c)) == 0 {
+				continue
+			}
 			h.l1[c].Invalidate(h.set(h.l1[c], evAddr), evTag)
 			h.l2[c].Invalidate(h.set(h.l2[c], evAddr), evTag)
 		}
-		if b := h.bufs[idx]; b != nil {
-			h.bufs[idx] = nil
-			h.victim = Victim{Addr: evAddr, Data: b.data, Dirty: b.dirty}
-			h.bufFree = append(h.bufFree, b)
+		if evb.valid {
+			h.victim = Victim{Addr: evAddr, Data: evb.data, Dirty: evb.dirty}
+			h.countDrop()
 			victim = &h.victim
 		}
+	} else if b := &h.bufs[idx]; b.valid {
+		// Re-filling a still-resident line: other cores may hold it
+		// privately, so their mask bits must survive.
+		mask |= b.cores
 	}
 	h.l2[core].Insert(h.set(h.l2[core], addr), tag, false)
 	h.l1[core].Insert(h.set(h.l1[core], addr), tag, false)
-	b := h.newLineBuf()
-	b.data, b.dirty = data, dirty
-	h.bufs[idx] = b
+	h.countInstall()
+	h.bufs[idx] = lineBuf{data: data, dirty: dirty, valid: true, cores: mask}
 	return victim
 }
 
@@ -351,23 +376,36 @@ func (h *Hierarchy) Fill(core int, addr dram.Addr, data [dram.LineSize]byte, dir
 // returned pointer aliases the hierarchy's scratch Victim.
 func (h *Hierarchy) dropLine(addr dram.Addr) *Victim {
 	tag := h.tag(addr)
-	for c := 0; c < h.cfg.Cores; c++ {
-		h.l1[c].Invalidate(h.set(h.l1[c], addr), tag)
-		h.l2[c].Invalidate(h.set(h.l2[c], addr), tag)
-	}
 	set := h.set(h.llc, addr)
 	way, _ := h.llc.InvalidateWay(set, tag)
 	if way < 0 {
+		// Not in the inclusive LLC; sweep the private caches anyway (the
+		// historical behavior — a guaranteed no-op in a consistent hierarchy).
+		for c := 0; c < h.cfg.Cores; c++ {
+			h.l1[c].Invalidate(h.set(h.l1[c], addr), tag)
+			h.l2[c].Invalidate(h.set(h.l2[c], addr), tag)
+		}
 		return nil
 	}
 	idx := h.bufIdx(set, way)
 	b := h.bufs[idx]
-	h.bufs[idx] = nil
-	if b == nil {
+	h.bufs[idx] = lineBuf{}
+	mask := b.cores
+	if !b.valid {
+		mask = h.allCores()
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		h.l1[c].Invalidate(h.set(h.l1[c], addr), tag)
+		h.l2[c].Invalidate(h.set(h.l2[c], addr), tag)
+	}
+	if !b.valid {
 		return nil
 	}
+	h.countDrop()
 	h.victim = Victim{Addr: addr, Data: b.data, Dirty: b.dirty}
-	h.bufFree = append(h.bufFree, b)
 	return &h.victim
 }
 

@@ -34,8 +34,9 @@ func (h *Hierarchy) ExportState() *State {
 	for _, c := range h.l2 {
 		st.L2 = append(st.L2, c.ExportState())
 	}
-	for i, b := range h.bufs {
-		if b == nil {
+	for i := range h.bufs {
+		b := &h.bufs[i]
+		if !b.valid {
 			continue
 		}
 		st.Bufs = append(st.Bufs, LineBufState{Idx: i, Data: b.data, Dirty: b.dirty})
@@ -67,7 +68,7 @@ func HierarchyFromState(cfg Config, st *State) (*Hierarchy, error) {
 	h := &Hierarchy{
 		cfg:  cfg,
 		llc:  llc,
-		bufs: make([]*lineBuf, cfg.LLCSets*cfg.LLCWays),
+		bufs: make([]lineBuf, cfg.LLCSets*cfg.LLCWays),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		if st.L1[i] == nil || st.L2[i] == nil {
@@ -88,16 +89,15 @@ func HierarchyFromState(cfg Config, st *State) (*Hierarchy, error) {
 		h.l1 = append(h.l1, l1)
 		h.l2 = append(h.l2, l2)
 	}
-	live := len(st.Bufs)
-	slab := make([]lineBuf, live)
 	last := -1
-	for i, b := range st.Bufs {
+	for _, b := range st.Bufs {
 		if b.Idx <= last || b.Idx >= len(h.bufs) {
 			return nil, fmt.Errorf("cpucache: buffer slot %d out of order or range", b.Idx)
 		}
 		last = b.Idx
-		slab[i] = lineBuf{data: b.Data, dirty: b.Dirty}
-		h.bufs[b.Idx] = &slab[i]
+		// The serialized image does not carry private-cache presence, so
+		// restore with the conservative all-cores mask.
+		h.bufs[b.Idx] = lineBuf{data: b.Data, dirty: b.Dirty, valid: true, cores: h.allCores()}
 	}
 	return h, nil
 }

@@ -20,14 +20,18 @@ const PageBytes = 4096
 
 // PageTable is a single-level map from virtual to physical 4 KB pages —
 // sufficient detail for the simulation, which never walks page tables for
-// timing (TLB effects are folded into the latency calibration).
+// timing (TLB effects are folded into the latency calibration). The version
+// counter bumps on every Map (including remaps), so host-side translation
+// caches can validate cached entries with a single compare instead of a map
+// lookup; it is never part of simulated state.
 type PageTable struct {
-	pages map[VAddr]dram.Addr
+	pages   map[VAddr]dram.Addr
+	version uint64
 }
 
 // NewPageTable returns an empty page table.
 func NewPageTable() *PageTable {
-	return &PageTable{pages: make(map[VAddr]dram.Addr)}
+	return &PageTable{pages: make(map[VAddr]dram.Addr), version: 1}
 }
 
 // Map installs a translation; both addresses must be page aligned.
@@ -36,7 +40,12 @@ func (pt *PageTable) Map(va VAddr, pa dram.Addr) {
 		panic(fmt.Sprintf("enclave: unaligned mapping %#x -> %#x", va, pa))
 	}
 	pt.pages[va] = pa
+	pt.version++
 }
+
+// Version returns the table's mutation counter. It starts at 1 (so callers
+// can use 0 as an "invalid" sentinel) and increments on every Map.
+func (pt *PageTable) Version() uint64 { return pt.version }
 
 // Translate resolves a virtual address to its physical address.
 func (pt *PageTable) Translate(va VAddr) (dram.Addr, bool) {
@@ -53,7 +62,7 @@ func (pt *PageTable) Mapped() int { return len(pt.pages) }
 
 // Clone returns an independent deep copy of the page table.
 func (pt *PageTable) Clone() *PageTable {
-	n := &PageTable{pages: make(map[VAddr]dram.Addr, len(pt.pages))}
+	n := &PageTable{pages: make(map[VAddr]dram.Addr, len(pt.pages)), version: pt.version}
 	for va, pa := range pt.pages {
 		n.pages[va] = pa
 	}

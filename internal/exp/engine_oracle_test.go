@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"meecc/internal/core"
+)
+
+// TestEngineOracleArtifactsByteIdentical is the harness-level half of the
+// epoch-kernel determinism proof: real channel and chaos studies, run once
+// through the compiled epoch kernel (the default) and once with every cell
+// forced onto the general DES engine, must aggregate to byte-identical
+// artifacts — at more than one worker count, so the oracle also covers the
+// scheduler's interleaving of epoch-eligible and ineligible cells. (Chaos
+// cells with faults configured always take the general engine; the fault-free
+// baseline arm is the epoch-eligible part that this test cross-checks.)
+func TestEngineOracleArtifactsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations in -short mode")
+	}
+	specs := []*Spec{
+		{
+			Name:     "oracle-channel",
+			Study:    "channel",
+			BaseSeed: 42,
+			Trials:   2,
+			Params:   map[string]string{"bits": "16", "pattern": "alternating"},
+			Axes:     []Axis{{Name: "window", Values: []string{"7500", "15000"}}},
+		},
+		{
+			Name:     "oracle-chaos",
+			Study:    "chaos",
+			BaseSeed: 7,
+			Trials:   1,
+			Params:   map[string]string{"payload": "4", "faults": "meeflush"},
+			Axes:     []Axis{{Name: "intensity", Values: []string{"0", "6"}}},
+		},
+	}
+	render := func(spec *Spec, workers int) []byte {
+		rep, err := RunSpec(spec, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := rep.Failures(); n > 0 {
+			t.Fatalf("%s: %d trials failed", spec.Name, n)
+		}
+		b, err := MarshalArtifact(rep.Artifact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, spec := range specs {
+		for _, workers := range []int{1, 4} {
+			epoch := render(spec, workers)
+			core.SetForceGeneralEngineForTest(true)
+			general := render(spec, workers)
+			core.SetForceGeneralEngineForTest(false)
+			if !bytes.Equal(epoch, general) {
+				t.Errorf("%s workers=%d: epoch-kernel artifact differs from general-engine artifact",
+					spec.Name, workers)
+			}
+		}
+	}
+}

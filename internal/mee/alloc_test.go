@@ -77,6 +77,34 @@ func TestWarmReadDataAllocFreeWithMetrics(t *testing.T) {
 	}
 }
 
+// TestForkAllocsIndependentOfResidency pins the arena-backed Fork: cloning
+// the engine is a fixed set of slab allocations plus memcpys, so the
+// allocation count must not scale with how many node lines are resident.
+func TestForkAllocsIndependentOfResidency(t *testing.T) {
+	forkAllocs := func(lines int) float64 {
+		rng := rand.New(rand.NewPCG(77, 88))
+		mem := dram.New(dram.DefaultConfig())
+		geom, err := itree.NewGeometry(1<<30, 128<<20, 96<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(DefaultConfig(rng), geom, itree.NewCrypto([16]byte{9, 9, 9}), mem)
+		var now sim.Cycles
+		for i := 0; i < lines; i++ {
+			now += 100000
+			addr := geom.DataBase + dram.Addr(uint64(i)*itree.DataPerVersionLine)
+			if _, _, _, err := eng.ReadData(now, rng, addr); err != nil {
+				t.Fatalf("ReadData: %v", err)
+			}
+		}
+		return testing.AllocsPerRun(20, func() { eng.Fork(nil, nil) })
+	}
+	few, many := forkAllocs(2), forkAllocs(256)
+	if few != many {
+		t.Fatalf("Fork allocations scale with residency: %.1f at 2 lines vs %.1f at 256", few, many)
+	}
+}
+
 // TestSteadyStateReadDataAllocFree exercises the miss path over a working
 // set larger than the MEE cache: after a warm-up pass that grows the nodeBuf
 // pool to its high-water mark, continued conflict misses (evict + refill)

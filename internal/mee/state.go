@@ -46,8 +46,9 @@ func (e *Engine) ExportState() *State {
 	}
 	copy(st.Root, e.root)
 	copy(st.Initialized, e.initialized)
-	for i, nb := range e.bufs {
-		if nb == nil {
+	for i := range e.bufs {
+		nb := &e.bufs[i]
+		if !nb.valid {
 			continue
 		}
 		st.Bufs = append(st.Bufs, BufState{
@@ -90,7 +91,7 @@ func EngineFromState(cfg Config, geom itree.Geometry, crypt *itree.Crypto, st *S
 		geom:        geom,
 		crypt:       crypt,
 		cache:       c,
-		bufs:        make([]*nodeBuf, cfg.CacheSets*cfg.CacheWays),
+		bufs:        make([]nodeBuf, cfg.CacheSets*cfg.CacheWays),
 		root:        make([]uint64, len(st.Root)),
 		initialized: make([]uint64, len(st.Initialized)),
 		port:        sim.ResumeResource(st.PortBusy),
@@ -104,12 +105,13 @@ func EngineFromState(cfg Config, geom itree.Geometry, crypt *itree.Crypto, st *S
 			return nil, fmt.Errorf("mee: buffer slot %d out of order or range", b.Idx)
 		}
 		last = b.Idx
-		e.bufs[b.Idx] = &nodeBuf{
+		e.bufs[b.Idx] = nodeBuf{
 			addr:    b.Addr,
 			kind:    b.Kind,
 			counter: b.Counter,
 			tags:    b.Tags,
 			dirty:   b.Dirty,
+			valid:   true,
 		}
 		e.nBufs++
 	}

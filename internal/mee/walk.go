@@ -20,7 +20,7 @@ func (e *Engine) loadVersions(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 	set := e.CacheSetFor(vaddr)
 	if way, hit := e.cache.LookupWay(set, e.cacheTag(vaddr)); hit {
 		w.markHit(HitVersions)
-		return e.bufs[e.bufIdx(set, way)], nil
+		return &e.bufs[e.bufIdx(set, way)], nil
 	}
 	// Miss: fetch the line from DRAM.
 	w.dram(vaddr, false)
@@ -34,15 +34,12 @@ func (e *Engine) loadVersions(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cl.MAC != e.crypt.NodeMAC(vaddr, pc, cl.Counters) {
+	if cl.MAC != e.nodeMAC(vaddr, pc, cl.Counters) {
 		e.stats.Violations++
 		return nil, &IntegrityError{Addr: vaddr, Kind: itree.KindVersion, What: "embedded MAC mismatch"}
 	}
 	w.check()
-	nb := e.newBuf()
-	nb.kind, nb.counter = itree.KindVersion, cl
-	e.install(w, vaddr, set, nb)
-	return nb, nil
+	return e.install(w, vaddr, set, nodeBuf{kind: itree.KindVersion, counter: cl}), nil
 }
 
 // loadLevelCounter returns the current value of counter `slot` in the
@@ -71,14 +68,12 @@ func (e *Engine) loadLevelCounter(w *walker, level int, idx uint64, slot int) (u
 			return 0, err
 		}
 	}
-	if cl.MAC != e.crypt.NodeMAC(addr, pc, cl.Counters) {
+	if cl.MAC != e.nodeMAC(addr, pc, cl.Counters) {
 		e.stats.Violations++
 		return 0, &IntegrityError{Addr: addr, Kind: itree.NodeKind(int(itree.KindLevel0) + level), What: "embedded MAC mismatch"}
 	}
 	w.check()
-	nb := e.newBuf()
-	nb.kind, nb.counter = itree.NodeKind(int(itree.KindLevel0)+level), cl
-	e.install(w, addr, set, nb)
+	e.install(w, addr, set, nodeBuf{kind: itree.NodeKind(int(itree.KindLevel0) + level), counter: cl})
 	return cl.Counters[slot], nil
 }
 
@@ -89,14 +84,12 @@ func (e *Engine) loadTags(w *walker, dataAddr dram.Addr) (*nodeBuf, error) {
 	taddr := e.geom.TagLineAddr(dataAddr)
 	set := e.CacheSetFor(taddr)
 	if way, hit := e.cache.LookupWay(set, e.cacheTag(taddr)); hit {
-		return e.bufs[e.bufIdx(set, way)], nil
+		return &e.bufs[e.bufIdx(set, way)], nil
 	}
 	w.posted(taddr, false)
 	e.ensureInit(taddr)
-	nb := e.newBuf()
-	nb.kind, nb.tags = itree.KindTag, itree.DecodeTagLine(e.mem.ReadLine(taddr))
-	e.install(w, taddr, set, nb)
-	return nb, nil
+	nb := nodeBuf{kind: itree.KindTag, tags: itree.DecodeTagLine(e.mem.ReadLine(taddr))}
+	return e.install(w, taddr, set, nb), nil
 }
 
 // check charges the per-level verification cost to the requester.
@@ -108,24 +101,29 @@ func (w *walker) check() {
 }
 
 // install fills a verified line into the MEE cache, handling the eviction
-// (and possible dirty writeback) of the displaced line.
-func (e *Engine) install(w *walker, addr dram.Addr, set int, nb *nodeBuf) {
+// (and possible dirty writeback) of the displaced line, and returns the
+// slot's buffer. The new line is written into its slot before the victim's
+// writeback runs: the writeback may recurse into further loads that read or
+// evict other slots and must see a consistent slab.
+func (e *Engine) install(w *walker, addr dram.Addr, set int, nb nodeBuf) *nodeBuf {
+	e.countInstall()
 	way, evicted := e.cache.InsertWay(set, e.cacheTag(addr), nb.dirty)
 	idx := e.bufIdx(set, way)
-	evBuf := e.bufs[idx] // victim's buffer lives in the slot we fill
-	nb.addr = addr
+	ev := e.bufs[idx] // victim's buffer lives in the slot we fill; copy it out
+	nb.addr, nb.valid = addr, true
 	e.bufs[idx] = nb
 	e.nBufs++
 	if evicted.Valid {
 		e.nBufs--
-		if evBuf != nil {
-			if evBuf.dirty {
+		if ev.valid {
+			if ev.dirty {
 				evAddr := dram.Addr(uint64(evicted.Tag) * itree.LineSize)
-				e.writeback(w, evAddr, evBuf)
+				e.writeback(w, evAddr, &ev)
 			}
-			e.putBuf(evBuf)
+			e.countDrop()
 		}
 	}
+	return &e.bufs[idx]
 }
 
 // writeback flushes a dirty tree line to DRAM. Version and level lines must
@@ -144,7 +142,7 @@ func (e *Engine) writeback(w *walker, addr dram.Addr, nb *nodeBuf) {
 		vi := uint64(addr-e.geom.VersBase) / itree.LineSize
 		l0, slot := e.geom.ParentOfVersion(vi)
 		pc := e.bumpLevelCounter(w, 0, l0, slot)
-		nb.counter.MAC = e.crypt.NodeMAC(addr, pc, nb.counter.Counters)
+		nb.counter.MAC = e.nodeMAC(addr, pc, nb.counter.Counters)
 	case itree.KindLevel0, itree.KindLevel1, itree.KindLevel2:
 		level := int(nb.kind - itree.KindLevel0)
 		idx := uint64(addr-e.geom.LevelBase[level]) / itree.LineSize
@@ -156,7 +154,7 @@ func (e *Engine) writeback(w *walker, addr dram.Addr, nb *nodeBuf) {
 		} else {
 			pc = e.bumpLevelCounter(w, level+1, pIdx, pSlot)
 		}
-		nb.counter.MAC = e.crypt.NodeMAC(addr, pc, nb.counter.Counters)
+		nb.counter.MAC = e.nodeMAC(addr, pc, nb.counter.Counters)
 	default:
 		panic(fmt.Sprintf("mee: writeback of unexpected node kind %v", nb.kind))
 	}
@@ -186,7 +184,7 @@ func (e *Engine) bumpLevelCounter(w *walker, level int, idx uint64, slot int) ui
 	if !ok {
 		panic(fmt.Sprintf("mee: counter line %#x vanished during writeback", addr))
 	}
-	nb := e.bufs[e.bufIdx(set, way)]
+	nb := &e.bufs[e.bufIdx(set, way)]
 	nb.counter.Counters[slot] = pc + 1
 	nb.dirty = true
 	e.cache.MarkDirty(set, e.cacheTag(addr))
@@ -201,7 +199,10 @@ func (e *Engine) residentBuf(addr dram.Addr) *nodeBuf {
 	if !ok {
 		return nil
 	}
-	return e.bufs[e.bufIdx(set, way)]
+	if nb := &e.bufs[e.bufIdx(set, way)]; nb.valid {
+		return nb
+	}
+	return nil
 }
 
 // maybeRandomEvict implements the noise-injection mitigation: with
@@ -215,9 +216,9 @@ func (e *Engine) maybeRandomEvict(w *walker) {
 	// Enumerate residents in ascending address order so the victim draw is
 	// independent of storage layout (the map this replaced was sorted too).
 	addrs := make([]dram.Addr, 0, e.nBufs)
-	for _, nb := range e.bufs {
-		if nb != nil {
-			addrs = append(addrs, nb.addr)
+	for i := range e.bufs {
+		if e.bufs[i].valid {
+			addrs = append(addrs, e.bufs[i].addr)
 		}
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
@@ -225,16 +226,16 @@ func (e *Engine) maybeRandomEvict(w *walker) {
 	set := e.CacheSetFor(victim)
 	way, _ := e.cache.InvalidateWay(set, e.cacheTag(victim))
 	idx := e.bufIdx(set, way)
-	nb := e.bufs[idx]
-	e.bufs[idx] = nil
+	nb := e.bufs[idx] // copy out before clearing; the writeback may recurse
+	e.bufs[idx] = nodeBuf{}
 	e.nBufs--
 	if nb.dirty {
 		prev := w.postedMode
 		w.postedMode = true
-		e.writeback(w, victim, nb)
+		e.writeback(w, victim, &nb)
 		w.postedMode = prev
 	}
-	e.putBuf(nb)
+	e.countDrop()
 }
 
 // ensureInit materializes the boot-time image of a tree line in DRAM:
@@ -251,7 +252,7 @@ func (e *Engine) ensureInit(addr dram.Addr) {
 	switch kind {
 	case itree.KindVersion, itree.KindLevel0, itree.KindLevel1, itree.KindLevel2:
 		var cl itree.CounterLine
-		cl.MAC = e.crypt.NodeMAC(addr, 0, cl.Counters)
+		cl.MAC = e.nodeMAC(addr, 0, cl.Counters)
 		raw := cl.Encode()
 		e.mem.WriteLine(addr, raw)
 	case itree.KindTag:
@@ -280,9 +281,9 @@ func (e *Engine) FlushCache(now sim.Cycles, rng *rand.Rand) {
 	// until nothing dirty remains.
 	for {
 		addrs := make([]dram.Addr, 0, e.nBufs)
-		for _, nb := range e.bufs {
-			if nb != nil && nb.dirty {
-				addrs = append(addrs, nb.addr)
+		for i := range e.bufs {
+			if e.bufs[i].valid && e.bufs[i].dirty {
+				addrs = append(addrs, e.bufs[i].addr)
 			}
 		}
 		if len(addrs) == 0 {
@@ -299,10 +300,10 @@ func (e *Engine) FlushCache(now sim.Cycles, rng *rand.Rand) {
 		}
 	}
 	e.cache.FlushAll()
-	for i, nb := range e.bufs {
-		if nb != nil {
-			e.putBuf(nb)
-			e.bufs[i] = nil
+	for i := range e.bufs {
+		if e.bufs[i].valid {
+			e.countDrop()
+			e.bufs[i] = nodeBuf{}
 		}
 	}
 	e.nBufs = 0

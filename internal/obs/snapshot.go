@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,6 +38,13 @@ type Snapshot struct {
 	SchemaVersion int                          `json:"schema_version"`
 	Counters      map[string]uint64            `json:"counters,omitempty"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+
+	// canon caches the canonical indented encoding, set the first time the
+	// snapshot is encoded (or adopted from the wire by DecodeSnapshot).
+	// Re-encoding a committed snapshot — memo replay, artifact assembly —
+	// then splices bytes instead of re-sorting and re-marshalling the maps.
+	// Mutators must clear it.
+	canon []byte
 }
 
 // NewSnapshot returns an empty snapshot at the current schema version.
@@ -48,22 +56,47 @@ func NewSnapshot() *Snapshot {
 	}
 }
 
+// snapshotFields strips Snapshot's methods so the encoder below can fall
+// back to the plain struct encoding without recursing into MarshalJSON.
+type snapshotFields Snapshot
+
+// MarshalJSON embeds the snapshot in enclosing documents (artifacts). With
+// the canonical bytes cached it compacts them instead of re-marshalling the
+// maps; the output is byte-identical either way (encoding/json sorts map
+// keys and escapes identically in both forms).
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	if s.canon == nil {
+		return json.Marshal((*snapshotFields)(s))
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, s.canon); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Encode renders the snapshot as canonical indented JSON with a trailing
-// newline. Returns nil for a nil snapshot.
+// newline, caching the bytes on the snapshot so later encodes are a slice
+// return. Returns nil for a nil snapshot.
 func (s *Snapshot) Encode() []byte {
 	if s == nil {
 		return nil
 	}
-	data, err := json.MarshalIndent(s, "", "  ")
-	if err != nil {
-		// Snapshot contains only maps of scalars; Marshal cannot fail.
-		panic(err)
+	if s.canon == nil {
+		data, err := json.MarshalIndent((*snapshotFields)(s), "", "  ")
+		if err != nil {
+			// Snapshot contains only maps of scalars; Marshal cannot fail.
+			panic(err)
+		}
+		s.canon = append(data, '\n')
 	}
-	return append(data, '\n')
+	return s.canon
 }
 
 // DecodeSnapshot parses a snapshot produced by Encode and validates its
-// schema version.
+// schema version. The input is adopted as the decoded snapshot's cached
+// canonical form — Encode's output is the only wire format, so replaying a
+// committed snapshot (journal recovery, memo hits) does no JSON work.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	var s Snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
@@ -72,6 +105,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if s.SchemaVersion != SnapshotSchemaVersion {
 		return nil, fmt.Errorf("snapshot schema version %d, want %d", s.SchemaVersion, SnapshotSchemaVersion)
 	}
+	s.canon = append([]byte(nil), data...)
 	return &s, nil
 }
 
@@ -123,6 +157,7 @@ func (s *Snapshot) Merge(prefix string, other *Snapshot) {
 	if s == nil || other == nil {
 		return
 	}
+	s.canon = nil // contents change; drop the cached encoding
 	for name, v := range other.Counters {
 		s.Counters[prefix+name] = v
 	}

@@ -11,14 +11,34 @@ import (
 	"meecc/internal/sim"
 )
 
+// Timeline is the clock a Thread executes against. Under the general DES
+// engine it is the actor's *sim.Proc (Advance yields to the scheduler);
+// under the epoch kernel it is a lane cursor that just moves a number. All
+// Thread model code is written against this interface, so both engines run
+// the exact same access/flush/timer code — same latencies, same rng draws —
+// and differ only in who owns the clock.
+type Timeline interface {
+	Now() sim.Cycles
+	Advance(n sim.Cycles)
+	SleepUntil(t sim.Cycles)
+}
+
 // Thread is one hardware thread executing on a core on behalf of a process.
 // Its methods are the simulated "ISA" that attack code is written against;
 // every method advances simulated time by the operation's cost.
 type Thread struct {
 	proc        *Process
 	core        int
-	sp          *sim.Proc
+	tl          Timeline
 	enclaveMode bool
+
+	// tlb is a host-side direct-mapped translation cache: pure memoization
+	// of PageTable.Translate plus the (deterministic, latency-free) SGX
+	// access checks. Entries validate against the page table's version
+	// counter, so any Map — including Repage's remap — invalidates the
+	// whole cache with no shootdown bookkeeping. ver==0 marks an empty
+	// slot (page-table versions start at 1).
+	tlb [tlbSlots]tlbEntry
 
 	// Fault-injection state (see internal/fault). pendingStall is time the
 	// thread has lost to an external event (preemption, page fault) that it
@@ -29,6 +49,15 @@ type Thread struct {
 	pendingStall sim.Cycles
 	timerDrift   sim.Cycles
 	timerJitter  float64
+}
+
+const tlbSlots = 64
+
+type tlbEntry struct {
+	page      enclave.VAddr // virtual page base
+	pa        dram.Addr     // physical page base
+	protected bool
+	ver       uint64 // page-table version the entry was filled under; 0 = empty
 }
 
 // AccessResult reports what one memory access did, for instrumentation.
@@ -56,10 +85,31 @@ func (p *Platform) SpawnThreadAt(name string, pr *Process, core int, start sim.C
 	}
 	th := &Thread{proc: pr, core: core}
 	p.eng.SpawnAt(name, start, func(sp *sim.Proc) {
-		th.sp = sp
+		th.tl = sp
 		body(th)
 	})
 	return th
+}
+
+// DetachThread builds a Thread that is not backed by any engine actor: it
+// carries saved thread state and executes against the caller-supplied
+// Timeline. This is how the epoch kernel drives the exact Thread model code
+// (access, Flush, TimerNow, ...) from a compiled lane — the lane's cursor
+// is the timeline, and no goroutine exists. The caller owns scheduling; the
+// platform only validates the core.
+func (p *Platform) DetachThread(pr *Process, st ThreadState, tl Timeline) *Thread {
+	if st.Core < 0 || st.Core >= p.cfg.Cores {
+		panic(fmt.Sprintf("platform: core %d out of range", st.Core))
+	}
+	return &Thread{
+		proc:         pr,
+		core:         st.Core,
+		tl:           tl,
+		enclaveMode:  st.EnclaveMode,
+		pendingStall: st.PendingStall,
+		timerDrift:   st.TimerDrift,
+		timerJitter:  st.TimerJitter,
+	}
 }
 
 // ThreadState is the portable execution state of a thread at a quiescent
@@ -140,7 +190,7 @@ func (t *Thread) payStall() {
 	if t.pendingStall > 0 {
 		d := t.pendingStall
 		t.pendingStall = 0
-		t.sp.Advance(d)
+		t.tl.Advance(d)
 	}
 }
 
@@ -150,7 +200,7 @@ func (t *Thread) Process() *Process { return t.proc }
 // Now returns simulator-internal time. In-universe code cannot read this
 // (that is the whole point of challenge 4); it exists for harness
 // instrumentation and tests.
-func (t *Thread) Now() sim.Cycles { return t.sp.Now() }
+func (t *Thread) Now() sim.Cycles { return t.tl.Now() }
 
 // InEnclave reports whether the thread is in enclave mode.
 func (t *Thread) InEnclave() bool { return t.enclaveMode }
@@ -164,7 +214,7 @@ func (t *Thread) EnterEnclave() {
 		panic("platform: nested EnterEnclave")
 	}
 	t.enclaveMode = true
-	t.sp.Advance(sim.Cycles(t.proc.plat.cfg.EnterExitCost))
+	t.tl.Advance(sim.Cycles(t.proc.plat.cfg.EnterExitCost))
 }
 
 // ExitEnclave leaves enclave mode (EEXIT).
@@ -173,12 +223,24 @@ func (t *Thread) ExitEnclave() {
 		panic("platform: ExitEnclave outside enclave")
 	}
 	t.enclaveMode = false
-	t.sp.Advance(sim.Cycles(t.proc.plat.cfg.EnterExitCost))
+	t.tl.Advance(sim.Cycles(t.proc.plat.cfg.EnterExitCost))
 }
 
 // translate resolves va, enforcing SGX access control: EPC pages are only
-// reachable from enclave mode by their owning enclave.
+// reachable from enclave mode by their owning enclave. The result is
+// memoized in the thread's tlb: translation and EPCM ownership can only
+// change through PageTable.Map (Repage remaps bump the version, spoiling
+// every cached entry), so a version-valid hit may skip both lookups. The
+// abort-page check is mode-dependent and re-applied on every hit.
 func (t *Thread) translate(va enclave.VAddr) (dram.Addr, bool) {
+	page := va &^ (enclave.PageBytes - 1)
+	slot := &t.tlb[(page/enclave.PageBytes)%tlbSlots]
+	if slot.ver == t.proc.pt.Version() && slot.page == page {
+		if slot.protected && !t.enclaveMode {
+			panic(fmt.Sprintf("platform: %s: abort-page access to EPC from non-enclave mode (VA %#x)", t.proc.name, va))
+		}
+		return slot.pa + dram.Addr(va-page), slot.protected
+	}
 	pa, ok := t.proc.pt.Translate(va)
 	if !ok {
 		panic(fmt.Sprintf("platform: %s: fault at unmapped VA %#x", t.proc.name, va))
@@ -193,6 +255,7 @@ func (t *Thread) translate(va enclave.VAddr) (dram.Addr, bool) {
 			panic(fmt.Sprintf("platform: %s: EPCM violation at VA %#x (owner %d)", t.proc.name, va, owner))
 		}
 	}
+	*slot = tlbEntry{page: page, pa: pa - dram.Addr(va-page), protected: protected, ver: t.proc.pt.Version()}
 	return pa, protected
 }
 
@@ -203,7 +266,7 @@ func (t *Thread) access(va enclave.VAddr, write bool) AccessResult {
 	pa, protected := t.translate(va)
 	p := t.proc.plat
 	rng := p.rng
-	now := t.sp.Now()
+	now := t.tl.Now()
 
 	lvl, lat := p.caches.Access(t.core, pa, write)
 	res := AccessResult{CacheLevel: lvl}
@@ -236,7 +299,7 @@ func (t *Thread) access(va enclave.VAddr, write bool) AccessResult {
 		}
 	}
 	res.Lat = lat
-	t.sp.Advance(lat)
+	t.tl.Advance(lat)
 	return res
 }
 
@@ -295,13 +358,13 @@ func (t *Thread) Flush(va enclave.VAddr) {
 	pa, _ := t.translate(va)
 	p := t.proc.plat
 	victim, lat := p.caches.Flush(pa)
-	t.writebackVictim(t.sp.Now()+lat, victim)
-	t.sp.Advance(lat)
+	t.writebackVictim(t.tl.Now()+lat, victim)
+	t.tl.Advance(lat)
 }
 
 // Mfence orders memory operations (small fixed cost; ordering is implicit
 // in the serialized simulation).
-func (t *Thread) Mfence() { t.sp.Advance(20) }
+func (t *Thread) Mfence() { t.tl.Advance(20) }
 
 // Rdtsc returns the exact cycle counter — but faults in enclave mode, as on
 // SGX1 hardware (challenge 4). Use TimerNow or OCallRdtsc inside enclaves.
@@ -310,8 +373,8 @@ func (t *Thread) Rdtsc() sim.Cycles {
 		panic("platform: rdtsc #UD in enclave mode (SGX1)")
 	}
 	t.payStall()
-	now := t.sp.Now()
-	t.sp.Advance(sim.Cycles(t.proc.plat.cfg.RdtscCost))
+	now := t.tl.Now()
+	t.tl.Advance(sim.Cycles(t.proc.plat.cfg.RdtscCost))
 	return now
 }
 
@@ -323,11 +386,11 @@ func (t *Thread) TimerNow() sim.Cycles {
 	t.payStall()
 	p := t.proc.plat
 	res := sim.Cycles(p.cfg.TimerResolution)
-	val := t.sp.Now()/res*res + t.timerDrift
+	val := t.tl.Now()/res*res + t.timerDrift
 	if t.timerJitter > 0 {
 		val += sim.Cycles((p.rng.Float64()*2 - 1) * t.timerJitter)
 	}
-	t.sp.Advance(sim.Cycles(p.cfg.TimerReadCost))
+	t.tl.Advance(sim.Cycles(p.cfg.TimerReadCost))
 	return val
 }
 
@@ -341,14 +404,14 @@ func (t *Thread) OCallRdtsc() sim.Cycles {
 	p := t.proc.plat
 	span := enclave.OCallMaxCycles - enclave.OCallMinCycles
 	dur := sim.Cycles(enclave.OCallMinCycles + p.rng.Float64()*float64(span))
-	val := t.sp.Now() + dur/2
-	t.sp.Advance(dur)
+	val := t.tl.Now() + dur/2
+	t.tl.Advance(dur)
 	return val
 }
 
 // Spin busy-loops for n cycles.
-func (t *Thread) Spin(n sim.Cycles) { t.sp.Advance(n) }
+func (t *Thread) Spin(n sim.Cycles) { t.tl.Advance(n) }
 
 // SpinUntil busy-loops until simulated cycle `deadline` (in-universe code
 // implements this by polling TimerNow; the cost model is identical).
-func (t *Thread) SpinUntil(deadline sim.Cycles) { t.sp.SleepUntil(deadline) }
+func (t *Thread) SpinUntil(deadline sim.Cycles) { t.tl.SleepUntil(deadline) }

@@ -1,0 +1,57 @@
+package sim
+
+// Epoch execution: a compiled, goroutine-free fast path for phases whose
+// actor set is fixed and scripted (the channel's transmission window). Each
+// EpochLane is a hand-compiled state machine standing in for one actor body;
+// the plan steps lanes inline, one operation at a time, in exactly the
+// global (clock, spawn id) order the engine's schedulers would have chosen —
+// schedBefore is the shared ordering rule — so every shared-state mutation
+// and every rng draw lands at the same point in the stream. No goroutines,
+// no channels, no heap: a lane count this small (trojan, spy, noise, stats)
+// makes a linear scan per step cheaper than any structure.
+//
+// The plan deliberately has no spawn, no fault hooks, and no observer: any
+// run that needs those is ineligible for compilation and stays on the
+// general engine (the caller gates this), which keeps the engine's Semantic
+// op counters exact — an epoch run is only entered when no observer exists
+// to count.
+
+// EpochLane is one pre-compiled execution lane. Clock is the start cycle of
+// the lane's next operation; ID is its spawn id under the general engine
+// (ties on equal clocks break by smaller ID, exactly like actor spawn
+// order); Step executes exactly one operation — advancing Clock — and
+// reports whether the lane still has operations left.
+type EpochLane interface {
+	Clock() Cycles
+	ID() int
+	Step() bool
+}
+
+// RunEpoch steps lanes in global (clock, id) order until every lane is done
+// or the next-due lane's operation would start past limit (limit < 0 means
+// no limit), mirroring Engine.Run's truncation rule: an operation executes
+// iff its start clock is <= limit. It returns the clock after the last
+// executed operation, matching what Engine.Run reports.
+func RunEpoch(lanes []EpochLane, limit Cycles) Cycles {
+	live := make([]EpochLane, len(lanes))
+	copy(live, lanes)
+	var now Cycles
+	for len(live) > 0 {
+		best := 0
+		for i := 1; i < len(live); i++ {
+			if schedBefore(live[i].Clock(), live[i].ID(), live[best].Clock(), live[best].ID()) {
+				best = i
+			}
+		}
+		cur := live[best]
+		if limit >= 0 && cur.Clock() > limit {
+			break
+		}
+		more := cur.Step()
+		now = cur.Clock()
+		if !more {
+			live = append(live[:best], live[best+1:]...)
+		}
+	}
+	return now
+}
