@@ -93,8 +93,10 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (internal/exp, internal/fault, internal/sim) =="
-go test -race ./internal/exp ./internal/fault ./internal/sim
+echo "== go test -race (internal/exp, internal/fault, internal/sim, internal/obs/ops) =="
+# internal/obs/ops rides along for its scrape-while-updating test: lock-free
+# instruments hammered by writers while /metrics renders concurrently.
+go test -race ./internal/exp ./internal/fault ./internal/sim ./internal/obs/ops
 
 echo "== go test -race: fig6b/fig7 on both engines (1 iteration) =="
 # One race-instrumented pass over the transmission hot path per engine: the
@@ -136,15 +138,25 @@ for f in smoke.json smoke.manifest.json; do
     test -s "$tmp/$f" || { echo "missing artifact $f" >&2; exit 1; }
 done
 
-echo "== smoke: meecc serve/submit =="
+echo "== smoke: meecc serve/submit + telemetry scrape =="
 # The experiment service's determinism contract, end to end over real HTTP:
 # an artifact served by `meecc serve` is byte-identical to the one the local
-# batch run above produced for the same spec.
+# batch run above produced for the same spec — with operational telemetry on
+# (it always is), proving wall-clock state never leaks into artifacts. While
+# the run is in flight, `meecc top -once -require` scrapes /metrics and
+# /healthz and fails the build if any contractual family is missing or the
+# exposition doesn't parse.
 go build -o "$tmp/meecc" ./cmd/meecc
 "$tmp/meecc" serve -addr 127.0.0.1:8391 -storedir "$tmp/snapstore" &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
-"$tmp/meecc" submit -spec examples/specs/smoke.json -addr 127.0.0.1:8391 -out "$tmp/served"
+"$tmp/meecc" submit -spec examples/specs/smoke.json -addr 127.0.0.1:8391 -out "$tmp/served" &
+submit_pid=$!
+sleep 0.3
+"$tmp/meecc" top -addr 127.0.0.1:8391 -once -require \
+    meecc_serve_runs_submitted_total,meecc_serve_queue_depth,meecc_serve_runs_active,meecc_serve_trials_executed_total,meecc_serve_trials_memoized_total,meecc_serve_trial_seconds,meecc_journal_appends_total,meecc_journal_append_errors_total,meecc_snapstore_bytes,meecc_snapstore_selfheal_deletions_total,meecc_http_requests_total,meecc_process_goroutines \
+    > /dev/null
+wait "$submit_pid" || { echo "submit failed" >&2; exit 1; }
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 trap 'rm -rf "$tmp"' EXIT

@@ -19,7 +19,9 @@
 //	meecc serve    [-addr HOST:PORT] [-storedir DIR] [-storemax BYTES] [-workers N]
 //	               [-journal FILE] [-maxruns N] [-maxpending N] [-runtimeout D]
 //	               [-grace D] [-readtimeout D] [-writetimeout D] [-idletimeout D]
+//	               [-loglevel L] [-logformat text|json] [-debugaddr HOST:PORT]
 //	meecc submit   -spec FILE [-addr HOST:PORT] [-out DIR]
+//	meecc top      [-addr HOST:PORT] [-interval D] [-once] [-require FAMILIES]
 //	meecc hash     -spec FILE                  # print the spec's content hash
 //
 // serve runs the experiment service: POST /v1/runs accepts a spec, GET
@@ -42,7 +44,21 @@
 // and writes the artifact under -out. It retries refused connections and
 // admission pushback with exponential backoff, reconnects severed event
 // streams at the last seen offset, and resubmits runs a server restart
-// interrupted.
+// interrupted. On success it prints a wall-clock summary (queue wait, run
+// duration, trials executed vs memoized) computed from the server's own
+// event timestamps.
+//
+// serve always exposes wall-clock operational telemetry, strictly separate
+// from the sim-clock metrics that feed artifacts: GET /metrics serves a
+// Prometheus text exposition, GET /healthz reports liveness (with a degraded
+// flag after journal append failures or store self-heals), GET /readyz flips
+// to 503 while draining, and GET /v1/runs/{id}/trace exports a run's
+// wall-clock lifecycle as Chrome trace-event JSON. Structured logs go to
+// stderr (-loglevel, -logformat), and -debugaddr opens net/http/pprof on a
+// separate listener. top renders those metrics as a live terminal dashboard
+// polling -addr every -interval; with -once it prints a single snapshot, and
+// -require FAM1,FAM2 makes it exit nonzero when families are missing (the CI
+// scrape check).
 //
 // Noise kinds: none, memory, mee512, mee4k. Policies: lru (default),
 // tree-plru, bit-plru, fifo, random, nru, srrip.
@@ -111,7 +127,7 @@ var (
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 
-	addr         = flag.String("addr", "127.0.0.1:8311", "listen/target address for serve/submit")
+	addr         = flag.String("addr", "127.0.0.1:8311", "listen/target address for serve/submit/top")
 	storeDir     = flag.String("storedir", "", "snapstore directory for serve's warm-state disk tier (empty = in-memory only)")
 	storeMax     = flag.Int64("storemax", 0, "snapstore size bound in bytes (0 = unbounded)")
 	journalPath  = flag.String("journal", "", "serve's write-ahead log; makes runs and trials durable across kill -9 (empty = no durability)")
@@ -122,6 +138,12 @@ var (
 	readTimeout  = flag.Duration("readtimeout", 30*time.Second, "serve: HTTP read timeout per request")
 	writeTimeout = flag.Duration("writetimeout", 10*time.Minute, "serve: HTTP write timeout (bounds event-stream lifetime)")
 	idleTimeout  = flag.Duration("idletimeout", 2*time.Minute, "serve: HTTP keep-alive idle timeout")
+	logLevel     = flag.String("loglevel", "info", "serve: structured-log threshold (debug, info, warn, error)")
+	logFormat    = flag.String("logformat", "text", "serve: structured-log encoding (text = logfmt, json)")
+	debugAddr    = flag.String("debugaddr", "", "serve: open net/http/pprof on this extra address (empty = off)")
+	topInterval  = flag.Duration("interval", 2*time.Second, "top: poll interval")
+	topOnce      = flag.Bool("once", false, "top: print one snapshot and exit")
+	topRequire   = flag.String("require", "", "top: comma list of metric families that must be present (exit nonzero otherwise)")
 
 	metricsOn  = flag.Bool("metrics", false, "collect metrics and print a report after the run")
 	metricsOut = flag.String("metricsout", "", "write the metrics snapshot JSON to this file")
@@ -152,11 +174,12 @@ func main() {
 		"inspect":  runInspect,
 		"serve":    runServe,
 		"submit":   runSubmit,
+		"top":      runTop,
 		"hash":     runHash,
 	}
 	run, ok := cmds[cmd]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity, inspect, serve, submit, hash)\n", cmd)
+		fmt.Fprintf(os.Stderr, "meecc: unknown command %q (have: send, sweep, noise, batch, chaos, latency, stealth, overhead, timing, activity, inspect, serve, submit, top, hash)\n", cmd)
 		os.Exit(2)
 	}
 	stopProfiles, err := startProfiles()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -13,14 +14,29 @@ import (
 	"time"
 
 	"meecc/internal/exp"
+	"meecc/internal/obs/ops"
 	"meecc/internal/serve"
 )
 
 // runServe starts the experiment service on -addr and blocks until SIGINT/
 // SIGTERM. Shutdown is graceful: admission stops, in-flight runs get -grace
 // to finish, the journal checkpoints, and only then do the listeners close.
+//
+// Operational telemetry is always on: GET /metrics serves the Prometheus
+// exposition, GET /healthz and /readyz report health, structured logs go to
+// stderr (-loglevel, -logformat), and -debugaddr opens net/http/pprof on a
+// separate listener so profiling never shares the service port.
 func runServe() error {
 	o := observer()
+	level, err := ops.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	form, err := ops.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	log := ops.NewLogger(os.Stderr, level, form)
 	srv, err := serve.New(serve.Config{
 		Workers:       *workers,
 		StoreDir:      *storeDir,
@@ -30,9 +46,24 @@ func runServe() error {
 		MaxPending:    *maxPending,
 		RunTimeout:    *runTimeout,
 		Obs:           o,
+		Log:           log,
 	})
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Warn("pprof listener failed", "addr", *debugAddr, "err", err.Error())
+			}
+		}()
+		log.Info("pprof listening", "addr", *debugAddr)
 	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -126,12 +157,14 @@ func runSubmit() error {
 		}
 		fmt.Printf("run %s (spec %s)\n", info.ID, info.SpecSHA256[:12])
 
-		last, err := client.Follow(info, 0, renderEvent(spec.Name))
+		var sum runSummary
+		last, err := client.Follow(info, 0, renderEvent(spec.Name, &sum))
 		if err != nil {
 			return err
 		}
 		switch last.Type {
 		case "done":
+			sum.print(os.Stderr)
 		case "interrupted":
 			if attempt >= maxResumes {
 				return fmt.Errorf("run interrupted %d times; giving up", attempt+1)
@@ -160,14 +193,45 @@ func runSubmit() error {
 	}
 }
 
-// renderEvent turns the run's event stream into progress lines on stderr.
-func renderEvent(name string) func(serve.Event) {
+// runSummary accumulates the wall-clock lifecycle marks the event stream
+// carries (every event is stamped with a Unix-millisecond TS by the server)
+// so submit can print queue wait and run duration without any client-side
+// clock — the numbers are the server's own, robust to client reconnects.
+type runSummary struct {
+	queuedTS, startedTS, doneTS int64
+	executed, memoized          int64
+}
+
+// print writes the final wall-clock summary line. Missing marks (a stream
+// resumed past its queued event, a pre-telemetry server) degrade to "?".
+func (s *runSummary) print(w *os.File) {
+	wait, dur := "?", "?"
+	if s.queuedTS > 0 && s.startedTS >= s.queuedTS {
+		wait = (time.Duration(s.startedTS-s.queuedTS) * time.Millisecond).String()
+	}
+	if s.startedTS > 0 && s.doneTS >= s.startedTS {
+		dur = (time.Duration(s.doneTS-s.startedTS) * time.Millisecond).String()
+	}
+	fmt.Fprintf(w, "summary: queue wait %s, run %s, trials: %d executed / %d memoized\n",
+		wait, dur, s.executed, s.memoized)
+}
+
+// renderEvent turns the run's event stream into progress lines on stderr and
+// captures the lifecycle timestamps for the final summary.
+func renderEvent(name string, sum *runSummary) func(serve.Event) {
 	return func(ev serve.Event) {
 		switch ev.Type {
+		case "queued":
+			sum.queuedTS = ev.TS
+		case "started":
+			sum.startedTS = ev.TS
 		case "progress":
 			fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials, %d/%d cells   ",
 				name, ev.Done, ev.Total, ev.CellsDone, ev.Cells)
 		case "done":
+			sum.doneTS = ev.TS
+			sum.executed = ev.RunExecuted
+			sum.memoized = ev.RunMemoized
 			fmt.Fprintf(os.Stderr, "\r%s: done (%d failures; service totals: %d executed, %d memoized)\n",
 				name, ev.Failures, ev.TrialsExecuted, ev.TrialsMemoized)
 		case "error", "cancelled", "interrupted":

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"meecc/internal/obs/ops"
 	"meecc/internal/snapstore"
 )
 
@@ -45,6 +47,29 @@ type WarmCache struct {
 	computes   atomic.Int64
 	diskLoads  atomic.Int64
 	diskSpills atomic.Int64
+
+	// Wall-clock latency of each slow path; nil-safe when SetOps was never
+	// called. These time operational cost only — cache behavior stays
+	// invisible in results either way.
+	computeSeconds *ops.Histogram
+	loadSeconds    *ops.Histogram
+	spillSeconds   *ops.Histogram
+}
+
+// SetOps registers the cache's wall-clock metrics on reg (nil-safe): slow-path
+// latencies plus gauges mirroring Stats.
+func (c *WarmCache) SetOps(reg *ops.Registry) {
+	c.computeSeconds = reg.Histogram("meecc_warm_compute_seconds", "Wall time of warm-phase computations.", nil)
+	c.loadSeconds = reg.Histogram("meecc_warm_disk_load_seconds", "Wall time of warm-state disk faults.", nil)
+	c.spillSeconds = reg.Histogram("meecc_warm_spill_seconds", "Wall time of warm-state disk spills.", nil)
+	reg.GaugeFunc("meecc_warm_computes", "Warm phases executed.", func() float64 { return float64(c.computes.Load()) })
+	reg.GaugeFunc("meecc_warm_disk_loads", "Warm misses served from the disk tier.", func() float64 { return float64(c.diskLoads.Load()) })
+	reg.GaugeFunc("meecc_warm_disk_spills", "Warm evictions persisted to disk.", func() float64 { return float64(c.diskSpills.Load()) })
+	reg.GaugeFunc("meecc_warm_entries", "Warm states resident in memory.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.lru.Len())
+	})
 }
 
 type warmEntry struct {
@@ -159,7 +184,9 @@ func (c *WarmCache) Warm(cfg ChannelConfig) (*ChannelWarmState, error) {
 			return
 		}
 		c.computes.Add(1)
+		start := time.Now()
 		e.ws, e.err = WarmChannel(cfg)
+		c.computeSeconds.ObserveSince(start)
 	})
 	return e.ws, e.err
 }
@@ -184,12 +211,14 @@ func (c *WarmCache) spill(store *snapstore.Store, e *warmEntry) {
 	if store == nil || !e.done.Load() || e.err != nil || e.ws == nil {
 		return
 	}
+	start := time.Now()
 	blob, err := e.ws.Encode()
 	if err != nil {
 		return
 	}
 	if store.Put(diskKey(e.key), blob) == nil {
 		c.diskSpills.Add(1)
+		c.spillSeconds.ObserveSince(start)
 	}
 }
 
@@ -200,6 +229,7 @@ func (c *WarmCache) faultIn(store *snapstore.Store, key string) (*ChannelWarmSta
 	if store == nil {
 		return nil, false
 	}
+	start := time.Now()
 	blob, err := store.Get(diskKey(key))
 	if err != nil {
 		return nil, false
@@ -209,5 +239,6 @@ func (c *WarmCache) faultIn(store *snapstore.Store, key string) (*ChannelWarmSta
 		return nil, false
 	}
 	c.diskLoads.Add(1)
+	c.loadSeconds.ObserveSince(start)
 	return ws, true
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"meecc/internal/obs"
+	"meecc/internal/obs/ops"
 	"meecc/internal/sim"
 	"meecc/internal/trace"
 )
@@ -98,6 +99,11 @@ type Config struct {
 	// the context's error: a cancelled run is a Partial report, and the
 	// caller inspects context.Cause to learn why.
 	Context context.Context
+	// Ops, when non-nil, receives wall-clock dispatcher telemetry: per-trial
+	// queue wait and execution latency, worker busy time, and in-flight
+	// gauges. Operational only — nothing recorded here can reach the report
+	// or the artifact, which stay byte-identical with Ops on or off.
+	Ops *ops.Registry
 }
 
 // Report is one complete harness run: every trial result in deterministic
@@ -187,9 +193,27 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 		}
 	}
 
+	// Wall-clock dispatcher telemetry. All instruments are nil when cfg.Ops
+	// is, and every method is nil-safe, so the uninstrumented path pays only
+	// nil checks. Worker/in-flight gauges use Add (not Set) so concurrent
+	// Runs sharing one registry compose.
+	queueWait := cfg.Ops.Histogram("meecc_exp_queue_wait_seconds", "Wall time a dispatched trial waited for a worker.", nil)
+	trialSeconds := cfg.Ops.Histogram("meecc_exp_trial_seconds", "Wall time of trial executions in the worker pool.", nil)
+	busySeconds := cfg.Ops.Gauge("meecc_exp_worker_busy_seconds", "Cumulative wall time workers spent executing trials.")
+	workersGauge := cfg.Ops.Gauge("meecc_exp_workers", "Workers currently serving trial pools.")
+	inflight := cfg.Ops.Gauge("meecc_exp_trials_inflight", "Trials executing right now.")
+	workersGauge.Add(float64(workers))
+	defer workersGauge.Add(-float64(workers))
+
 	start := time.Now()
 	results := make([]TrialResult, len(jobs))
-	idxCh := make(chan int)
+	// Each dispatch carries its send timestamp so the receiving worker can
+	// record how long the trial sat in the channel waiting for a free slot.
+	type dispatchItem struct {
+		idx int
+		at  time.Time
+	}
+	idxCh := make(chan dispatchItem)
 	var wg sync.WaitGroup
 
 	var mu sync.Mutex // guards done/cellDone and serializes OnProgress
@@ -204,7 +228,8 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idxCh {
+			for item := range idxCh {
+				i := item.idx
 				job := jobs[i]
 				tr := TrialResult{
 					Cell:    job.Cell.Index,
@@ -212,7 +237,13 @@ func Run(spec *Spec, runner Runner, cfg Config) (*Report, error) {
 					Trial:   job.Trial,
 					Seed:    job.Seed,
 				}
+				execStart := time.Now()
+				queueWait.Observe(execStart.Sub(item.at).Seconds())
+				inflight.Add(1)
 				m, snap, err := runTrial(runner, job)
+				inflight.Add(-1)
+				trialSeconds.ObserveSince(execStart)
+				busySeconds.Add(time.Since(execStart).Seconds())
 				if err != nil {
 					tr.Err = err.Error()
 				} else {
@@ -268,7 +299,7 @@ dispatch:
 		case <-ctxDone:
 			dispatched = j
 			break dispatch
-		case idxCh <- i:
+		case idxCh <- dispatchItem{idx: i, at: time.Now()}:
 		}
 	}
 	close(idxCh)

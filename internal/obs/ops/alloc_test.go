@@ -1,0 +1,41 @@
+package ops
+
+import "testing"
+
+// The hot-path pins: instrument updates sit on serve's per-request and
+// per-trial paths, so they must not allocate. AllocsPerRun fails the build of
+// any change that adds an allocation to Inc/Set/Add/Observe.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_ops_total", "")
+	g := r.Gauge("alloc_depth", "")
+	h := r.Histogram("alloc_seconds", "", nil)
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(0.5) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+}
+
+// Re-fetching an already-registered instrument is the steady-state path for
+// labeled counters at call sites that cannot cache the handle; it may not be
+// zero-alloc (label rendering), but the unlabeled fast path should be cheap.
+func TestLookupIsStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("stable_total", "", "k", "v")
+	b := r.Counter("stable_total", "", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+}

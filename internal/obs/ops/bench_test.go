@@ -1,0 +1,65 @@
+package ops
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsExposition measures a full WriteText scrape of a registry
+// sized like a live meecc serve: a few dozen families, labeled series, and
+// several histograms — the cost a Prometheus poller imposes per scrape.
+func BenchmarkMetricsExposition(b *testing.B) {
+	r := NewRegistry()
+	for _, name := range []string{
+		"meecc_serve_runs_submitted_total", "meecc_serve_trials_executed_total",
+		"meecc_serve_trials_memoized_total", "meecc_journal_appends_total",
+		"meecc_snapstore_puts_total", "meecc_snapstore_gets_total",
+	} {
+		r.Counter(name, "bench counter").Add(12345)
+	}
+	for _, code := range []string{"200", "202", "404", "429"} {
+		r.Counter("meecc_http_requests_total", "bench", "handler", "submit", "code", code).Add(99)
+	}
+	r.Gauge("meecc_serve_queue_depth", "bench").Set(3)
+	r.Gauge("meecc_serve_runs_active", "bench").Set(2)
+	r.GaugeFunc("meecc_process_uptime_seconds", "bench", func() float64 { return 1234.5 })
+	for _, name := range []string{
+		"meecc_serve_run_seconds", "meecc_serve_queue_wait_seconds",
+		"meecc_serve_trial_seconds", "meecc_journal_append_seconds",
+		"meecc_snapstore_put_seconds", "meecc_http_request_seconds",
+	} {
+		h := r.Histogram(name, "bench histogram", nil)
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i%200) / 1000)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCounterInc pins the hot-path update cost alongside the zero-alloc
+// test.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve covers the per-trial latency recording path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}

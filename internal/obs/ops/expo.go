@@ -1,0 +1,119 @@
+package ops
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format this package writes and parses.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every instrument in the Prometheus text exposition
+// format: families sorted by name, each with one HELP and TYPE line, series
+// sorted by label string. Gauge funcs are evaluated here, at scrape time.
+// Safe on a nil registry (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		// Snapshot the series AND their fn pointers under the family lock:
+		// GaugeFunc may replace fn concurrently, and the fns themselves are
+		// evaluated outside the lock (they may take other mutexes).
+		type renderSeries struct {
+			s  *series
+			fn func() float64
+		}
+		f.mu.Lock()
+		series := make([]renderSeries, len(f.series))
+		for i, s := range f.series {
+			series[i] = renderSeries{s: s, fn: s.fn}
+		}
+		f.mu.Unlock()
+		sort.Slice(series, func(i, j int) bool { return series[i].s.labels < series[j].s.labels })
+
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+
+		for _, rs := range series {
+			s := rs.s
+			switch {
+			case s.h != nil:
+				writeHistogram(bw, f.name, s)
+			case rs.fn != nil:
+				writeSample(bw, f.name, s.labels, formatFloat(rs.fn()))
+			case s.c != nil:
+				writeSample(bw, f.name, s.labels, strconv.FormatUint(s.c.Value(), 10))
+			case s.g != nil:
+				writeSample(bw, f.name, s.labels, formatFloat(s.g.Value()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative `_bucket{le=...}`, `_sum`, and
+// `_count` series of one histogram.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.h
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(bw, name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(bound)+`"`), strconv.FormatUint(cum, 10))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(bw, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), strconv.FormatUint(cum, 10))
+	writeSample(bw, name+"_sum", s.labels, formatFloat(h.Sum()))
+	writeSample(bw, name+"_count", s.labels, strconv.FormatUint(h.count.Load(), 10))
+}
+
+// joinLabels merges a series' base labels with an extra `le=...` label.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+// formatFloat renders a float compactly ("0.25", "1e+06") the way the
+// exposition format expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// GET /metrics. Safe on a nil registry (serves an empty exposition).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,197 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("ops: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Format selects the log line encoding.
+type Format int8
+
+const (
+	// FormatText emits logfmt-style `ts=... level=... msg=... k=v` lines.
+	FormatText Format = iota
+	// FormatJSON emits one JSON object per line.
+	FormatJSON
+)
+
+// ParseFormat parses "text" or "json".
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "logfmt":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("ops: unknown log format %q (want text or json)", s)
+}
+
+// Logger is a leveled structured logger: every line is a message plus
+// key=value fields, as logfmt text or JSON. With carries per-run/request
+// context fields to child loggers. Writes are serialized through one mutex
+// shared by the whole With tree; a nil *Logger discards everything, which is
+// how disabled logging stays free of call-site checks.
+type Logger struct {
+	mu   *sync.Mutex
+	w    io.Writer
+	min  Level
+	form Format
+	base []any // alternating key, value context fields
+
+	// now is the wall clock, overridable by tests for golden output.
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level, form Format) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, form: form, now: time.Now}
+}
+
+// With returns a child logger whose lines carry the given key/value pairs
+// (alternating key, value — keys must be strings) ahead of per-line fields.
+// Safe on a nil receiver.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.base = append(append([]any(nil), l.base...), kv...)
+	return &child
+}
+
+// Debug logs at debug level. Safe on a nil receiver.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level. Safe on a nil receiver.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level. Safe on a nil receiver.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level. Safe on a nil receiver.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < l.min {
+		return
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	var line []byte
+	if l.form == FormatJSON {
+		line = l.jsonLine(ts, level, msg, kv)
+	} else {
+		line = l.textLine(ts, level, msg, kv)
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// textLine renders one logfmt line.
+func (l *Logger) textLine(ts string, level Level, msg string, kv []any) []byte {
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(ts)
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteIfNeeded(msg))
+	writeTextFields := func(kv []any) {
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(fmt.Sprint(kv[i]))
+			b.WriteByte('=')
+			b.WriteString(quoteIfNeeded(fmt.Sprint(kv[i+1])))
+		}
+	}
+	writeTextFields(l.base)
+	writeTextFields(kv)
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// jsonLine renders one JSON object line. Field order is fixed (ts, level,
+// msg, then context and per-line fields in argument order).
+func (l *Logger) jsonLine(ts string, level Level, msg string, kv []any) []byte {
+	var b strings.Builder
+	b.WriteString(`{"ts":`)
+	b.WriteString(strconv.Quote(ts))
+	b.WriteString(`,"level":`)
+	b.WriteString(strconv.Quote(level.String()))
+	b.WriteString(`,"msg":`)
+	b.WriteString(strconv.Quote(msg))
+	writeJSONFields := func(kv []any) {
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(fmt.Sprint(kv[i])))
+			b.WriteByte(':')
+			b.Write(jsonValue(kv[i+1]))
+		}
+	}
+	writeJSONFields(l.base)
+	writeJSONFields(kv)
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+// jsonValue encodes a field value, falling back to its string form for
+// anything json.Marshal rejects.
+func jsonValue(v any) []byte {
+	if data, err := json.Marshal(v); err == nil {
+		return data
+	}
+	data, _ := json.Marshal(fmt.Sprint(v))
+	return data
+}
+
+// quoteIfNeeded quotes a logfmt value containing spaces, quotes, or '='.
+func quoteIfNeeded(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock pins the logger's timestamp so output is golden-comparable.
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+}
+
+func newTestLogger(buf *bytes.Buffer, min Level, form Format) *Logger {
+	l := NewLogger(buf, min, form)
+	l.now = fixedClock
+	return l
+}
+
+func TestLoggerTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LevelDebug, FormatText)
+	l.Info("run admitted", "run", "r-0001", "queue_depth", 3)
+	l.Warn("journal append failed", "err", "disk full: no space")
+	l.With("run", "r-0002").Error("run failed", "trials", 12)
+
+	want := `ts=2026-08-07T12:00:00Z level=info msg="run admitted" run=r-0001 queue_depth=3
+ts=2026-08-07T12:00:00Z level=warn msg="journal append failed" err="disk full: no space"
+ts=2026-08-07T12:00:00Z level=error msg="run failed" run=r-0002 trials=12
+`
+	if got := buf.String(); got != want {
+		t.Errorf("text log mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLoggerJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LevelInfo, FormatJSON)
+	l.With("run", "r-0003").Info("artifact ready", "bytes", 4096, "memo_hit", true)
+
+	want := `{"ts":"2026-08-07T12:00:00Z","level":"info","msg":"artifact ready","run":"r-0003","bytes":4096,"memo_hit":true}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("json log mismatch:\n got %s want %s", got, want)
+	}
+	// Every JSON line must actually be valid JSON.
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	if m["run"] != "r-0003" || m["memo_hit"] != true {
+		t.Errorf("decoded fields wrong: %v", m)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LevelWarn, FormatText)
+	l.Debug("dropped")
+	l.Info("dropped")
+	l.Warn("kept")
+	l.Error("kept")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("got %d lines, want 2:\n%s", got, buf.String())
+	}
+	if strings.Contains(buf.String(), "dropped") {
+		t.Error("below-threshold lines were written")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	if child := l.With("run", "r"); child != nil {
+		t.Error("nil logger's With returned non-nil")
+	}
+}
+
+func TestLoggerConcurrentWrites(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LevelInfo, FormatText)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := l.With("worker", w)
+			for i := 0; i < 100; i++ {
+				child.Info("tick", "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	// No interleaving: every line is whole.
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("torn log line: %q", line)
+		}
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	if lv, err := ParseLevel("WARN"); err != nil || lv != LevelWarn {
+		t.Errorf("ParseLevel(WARN) = %v, %v", lv, err)
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) did not fail")
+	}
+	if f, err := ParseFormat("json"); err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat(json) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat(xml) did not fail")
+	}
+}

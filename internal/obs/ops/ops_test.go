@@ -1,0 +1,263 @@
+package ops
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text-format output for a registry with
+// one of each instrument kind: families sorted by name, HELP/TYPE once per
+// family, series sorted by label string, histograms with cumulative buckets
+// plus _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.", "handler", "submit", "code", "202").Add(3)
+	r.Counter("test_requests_total", "Requests served.", "handler", "events", "code", "200").Inc()
+	r.Gauge("test_queue_depth", "Runs waiting for a slot.").Set(2)
+	r.GaugeFunc("test_uptime_seconds", "Seconds since start.", func() float64 { return 12.5 })
+	h := r.Histogram("test_trial_seconds", "Trial wall time.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(42)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_queue_depth Runs waiting for a slot.
+# TYPE test_queue_depth gauge
+test_queue_depth 2
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{handler="events",code="200"} 1
+test_requests_total{handler="submit",code="202"} 3
+# HELP test_trial_seconds Trial wall time.
+# TYPE test_trial_seconds histogram
+test_trial_seconds_bucket{le="0.1"} 1
+test_trial_seconds_bucket{le="1"} 3
+test_trial_seconds_bucket{le="10"} 3
+test_trial_seconds_bucket{le="+Inf"} 4
+test_trial_seconds_sum 43.05
+test_trial_seconds_count 4
+# HELP test_uptime_seconds Seconds since start.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 12.5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestParseRoundTrip feeds WriteText output back through ParseText: every
+// family must come back with its type, values, and labels intact — the
+// contract `meecc top` and the CI scrape assertion rely on.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_runs_total", "Runs.", "outcome", "done").Add(7)
+	r.Counter("rt_runs_total", "Runs.", "outcome", "failed").Add(2)
+	r.Gauge("rt_active", "Active runs.").Set(1.5)
+	h := r.Histogram("rt_latency_seconds", "Latency.", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.003)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for family, typ := range map[string]string{
+		"rt_runs_total":      "counter",
+		"rt_active":          "gauge",
+		"rt_latency_seconds": "histogram",
+	} {
+		if !sc.Has(family) {
+			t.Errorf("family %s missing from scrape", family)
+		}
+		if got := sc.Types[family]; got != typ {
+			t.Errorf("family %s type %q, want %q", family, got, typ)
+		}
+	}
+	if got := sc.Value("rt_runs_total"); got != 9 {
+		t.Errorf("rt_runs_total sums to %v, want 9", got)
+	}
+	if got := sc.Value("rt_active"); got != 1.5 {
+		t.Errorf("rt_active %v, want 1.5", got)
+	}
+	if got := sc.Value("rt_latency_seconds_count"); got != 100 {
+		t.Errorf("histogram count %v, want 100", got)
+	}
+	var done Sample
+	for _, s := range sc.Samples["rt_runs_total"] {
+		if s.Labels["outcome"] == "done" {
+			done = s
+		}
+	}
+	if done.Value != 7 {
+		t.Errorf("outcome=done sample %v, want 7", done.Value)
+	}
+}
+
+// TestParseRejectsGarbage: sample lines that are not samples must fail, not
+// silently render as zeroes.
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"name_only\n",
+		`unterminated{le="0.1 3` + "\n",
+		"name not-a-number\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	sc, err := ParseText(strings.NewReader("# arbitrary comment\n\nok_total 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Value("ok_total") != 3 {
+		t.Error("valid sample lost")
+	}
+}
+
+// TestQuantile checks the bucket-interpolation estimate on a known
+// distribution, including the +Inf clamp and label merging.
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
+	// 100 observations uniform in (0,1]: p50 ≈ 0.5 by interpolation.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	sc, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Quantile("q_seconds", 0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+	if got := sc.Quantile("q_seconds", 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("p100 = %v, want 1 (bucket upper bound)", got)
+	}
+	if got := sc.Quantile("absent_seconds", 0.5); got != 0 {
+		t.Errorf("absent histogram quantile = %v, want 0", got)
+	}
+
+	// Observations past the last bound land in +Inf; the quantile clamps to
+	// the highest finite bound instead of reporting infinity.
+	h2 := r.Histogram("q2_seconds", "", []float64{1, 2})
+	h2.Observe(100)
+	buf.Reset()
+	r.WriteText(&buf)
+	sc, err = ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Quantile("q2_seconds", 0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want 2", got)
+	}
+}
+
+// TestScrapeWhileUpdating hammers every instrument from writer goroutines
+// while scraping concurrently — under -race this is the proof the lock-free
+// instruments and the exposition path can overlap safely.
+func TestScrapeWhileUpdating(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_ops_total", "")
+	g := r.Gauge("race_depth", "")
+	h := r.Histogram("race_seconds", "", nil)
+	r.GaugeFunc("race_fn", "", func() float64 { return float64(c.Value()) })
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%10) / 100)
+				// Registration races with scrapes too.
+				r.Counter("race_dynamic_total", "", "w", string(rune('a'+w))).Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Error(err)
+		}
+		if _, err := ParseText(&buf); err != nil {
+			t.Errorf("scrape %d unparseable: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	sc, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Value("race_ops_total") != float64(c.Value()) {
+		t.Error("final scrape lost counter increments")
+	}
+	if got := sc.Value("race_seconds_count"); got != float64(h.Count()) {
+		t.Errorf("histogram count %v, want %v", got, h.Count())
+	}
+}
+
+// TestNilRegistrySafety: a nil registry and its nil instruments must be
+// complete no-ops, the disabled-telemetry mode every instrumented package
+// relies on.
+func TestNilRegistrySafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "").Inc()
+	r.Counter("x_total", "").Add(5)
+	r.Gauge("x", "").Set(1)
+	r.Gauge("x", "").Add(1)
+	r.Histogram("x_seconds", "", nil).Observe(1)
+	r.GaugeFunc("x_fn", "", func() float64 { return 1 })
+	if err := r.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Set(3)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported non-zero values")
+	}
+}
+
+// TestTypeConflictPanics: registering one name as two types is a programming
+// error that must fail fast, not emit a malformed exposition.
+func TestTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("conflict_total", "")
+	r.Gauge("conflict_total", "")
+}

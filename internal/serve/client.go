@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"meecc/internal/obs/ops"
 )
 
 // Backoff is an exponential-backoff-with-jitter retry policy. The zero
@@ -67,6 +69,15 @@ type Client struct {
 	Rng *rand.Rand
 	// Logf, when non-nil, receives one line per retry (attempt, cause, wait).
 	Logf func(format string, args ...any)
+	// Ops, when non-nil, receives wall-clock retry/backoff telemetry
+	// (meecc_client_retries_total{op=...}, meecc_client_backoff_seconds).
+	Ops *ops.Registry
+}
+
+// retried records one retry of op and the backoff wait preceding it.
+func (c *Client) retried(op string, wait time.Duration) {
+	c.Ops.Counter("meecc_client_retries_total", "Client request retries.", "op", op).Inc()
+	c.Ops.Gauge("meecc_client_backoff_seconds", "Cumulative wall time the client slept in retry backoff.").Add(wait.Seconds())
 }
 
 func (c *Client) http() *http.Client {
@@ -128,6 +139,7 @@ func (c *Client) Submit(spec []byte) (RunInfo, error) {
 				wait = ra
 			}
 			c.logf("submit retry %d/%d in %s: %v", attempt, pol.Attempts-1, wait.Round(time.Millisecond), lastErr)
+			c.retried("submit", wait)
 			time.Sleep(wait)
 		}
 		resp, err := c.http().Post(c.BaseURL+"/v1/runs", "application/json", bytes.NewReader(spec))
@@ -189,6 +201,7 @@ func (c *Client) Follow(info RunInfo, from int, fn func(Event)) (Event, error) {
 		if attempt > 0 {
 			wait := pol.Delay(attempt-1, c.Rng)
 			c.logf("event stream retry %d/%d in %s: %v", attempt, pol.Attempts-1, wait.Round(time.Millisecond), lastErr)
+			c.retried("follow", wait)
 			time.Sleep(wait)
 		}
 		resp, err := c.http().Get(c.BaseURL + info.Events + "?from=" + strconv.Itoa(next))
@@ -238,6 +251,7 @@ func (c *Client) Artifact(info RunInfo) ([]byte, error) {
 		if attempt > 0 {
 			wait := pol.Delay(attempt-1, c.Rng)
 			c.logf("artifact retry %d/%d in %s: %v", attempt, pol.Attempts-1, wait.Round(time.Millisecond), lastErr)
+			c.retried("artifact", wait)
 			time.Sleep(wait)
 		}
 		resp, err := c.http().Get(c.BaseURL + info.Artifact)

@@ -16,7 +16,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
+	"meecc/internal/obs/ops"
 	"meecc/internal/snapstore"
 )
 
@@ -171,6 +173,47 @@ type Journal struct {
 
 	mu sync.Mutex
 	f  *os.File
+
+	// healedBytes is how many torn-tail bytes Open truncated away; replayed
+	// is how many intact records it handed back. Both are fixed at Open.
+	healedBytes int64
+	replayed    int
+
+	// Wall-clock telemetry; nil-safe when SetOps was never called.
+	appends       *ops.Counter
+	appendErrors  *ops.Counter
+	appendSeconds *ops.Histogram
+	fsyncSeconds  *ops.Histogram
+}
+
+// HealedBytes reports how many bytes of torn tail Open truncated away (zero
+// for a clean open).
+func (j *Journal) HealedBytes() int64 { return j.healedBytes }
+
+// Replayed reports how many intact records Open replayed.
+func (j *Journal) Replayed() int { return j.replayed }
+
+// SetOps registers the journal's wall-clock metrics on reg (nil-safe):
+// append/fsync latency, append error count, replay/recovery counters fixed at
+// Open, and the live file size.
+func (j *Journal) SetOps(reg *ops.Registry) {
+	j.appends = reg.Counter("meecc_journal_appends_total", "Records appended to the write-ahead journal.")
+	j.appendErrors = reg.Counter("meecc_journal_append_errors_total", "Journal appends that failed.")
+	j.appendSeconds = reg.Histogram("meecc_journal_append_seconds", "Wall time of journal record appends.", nil)
+	j.fsyncSeconds = reg.Histogram("meecc_journal_fsync_seconds", "Wall time of journal fsyncs.", nil)
+	reg.Counter("meecc_journal_replayed_records_total", "Intact records replayed at journal open.").Add(uint64(j.replayed))
+	if j.healedBytes > 0 {
+		reg.Counter("meecc_journal_torn_tail_recoveries_total", "Torn tails truncated at journal open.").Inc()
+	} else {
+		reg.Counter("meecc_journal_torn_tail_recoveries_total", "Torn tails truncated at journal open.")
+	}
+	reg.GaugeFunc("meecc_journal_size_bytes", "Current journal file size.", func() float64 {
+		info, err := os.Stat(j.path)
+		if err != nil {
+			return 0
+		}
+		return float64(info.Size())
+	})
 }
 
 // Open opens (creating if needed) the journal at path, replays every intact
@@ -219,7 +262,9 @@ func Open(path string) (*Journal, []Record, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("journal: healing %s: %w", path, err)
 		}
+		j.healedBytes = int64(len(data) - valid)
 	}
+	j.replayed = len(recs)
 	if _, err := f.Seek(int64(valid), 0); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: %w", err)
@@ -234,14 +279,19 @@ func (j *Journal) Path() string { return j.path }
 // syscall, so a crash tears at most this record — never an earlier one.
 func (j *Journal) Append(rec Record) error {
 	frame := snapstore.AppendFrame(nil, Encode(rec))
+	start := time.Now()
+	defer j.appendSeconds.ObserveSince(start)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
+		j.appendErrors.Inc()
 		return fmt.Errorf("journal: %s is closed", j.path)
 	}
 	if _, err := j.f.Write(frame); err != nil {
+		j.appendErrors.Inc()
 		return fmt.Errorf("journal: appending to %s: %w", j.path, err)
 	}
+	j.appends.Inc()
 	return nil
 }
 
@@ -249,6 +299,8 @@ func (j *Journal) Append(rec Record) error {
 // checkpoints; per-record appends rely on the page cache surviving process
 // death, which is all a SIGKILL threatens.
 func (j *Journal) Sync() error {
+	start := time.Now()
+	defer j.fsyncSeconds.ObserveSince(start)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"meecc/internal/exp"
 )
@@ -48,9 +50,17 @@ type Event struct {
 	Failures  int    `json:"failures,omitempty"`
 	// Cumulative service counters, reported on the done event: how many
 	// trials this service has ever executed vs replayed from the memo.
-	TrialsExecuted int64  `json:"trials_executed,omitempty"`
-	TrialsMemoized int64  `json:"trials_memoized,omitempty"`
-	Error          string `json:"error,omitempty"`
+	TrialsExecuted int64 `json:"trials_executed,omitempty"`
+	TrialsMemoized int64 `json:"trials_memoized,omitempty"`
+	// Per-run execution counts, reported on the done event: how many of THIS
+	// run's trials were freshly executed vs replayed from the memo.
+	RunExecuted int64  `json:"run_executed,omitempty"`
+	RunMemoized int64  `json:"run_memoized,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// TS is the event's wall-clock timestamp (Unix milliseconds). It is
+	// operational metadata on the transport stream only — artifacts carry no
+	// wall-clock state, so served artifacts stay byte-identical.
+	TS int64 `json:"ts,omitempty"`
 }
 
 // Terminal reports whether the event ends its run's stream.
@@ -80,6 +90,14 @@ type run struct {
 	spec     *exp.Spec
 	specHash string
 
+	// Wall-clock lifecycle marks and per-run trial counts — operational
+	// telemetry for events, spans, and the submit summary line; never part
+	// of the artifact.
+	queuedAt  time.Time
+	startedAt time.Time
+	executed  atomic.Int64
+	memoized  atomic.Int64
+
 	mu       sync.Mutex
 	state    State
 	events   []Event
@@ -98,6 +116,7 @@ func newRun(id string, spec *exp.Spec, hash string) *run {
 		specHash: hash,
 		state:    StateQueued,
 		notify:   make(chan struct{}),
+		queuedAt: time.Now(),
 	}
 	ru.emit(Event{Type: "queued"})
 	return ru
@@ -127,6 +146,7 @@ func (ru *run) emit(ev Event) {
 
 func (ru *run) emitLocked(ev Event) {
 	ev.Seq = len(ru.events)
+	ev.TS = time.Now().UnixMilli()
 	ru.events = append(ru.events, ev)
 	close(ru.notify)
 	ru.notify = make(chan struct{})
@@ -142,6 +162,7 @@ func (ru *run) start(cancel context.CancelCauseFunc) bool {
 	}
 	ru.state = StateRunning
 	ru.cancel = cancel
+	ru.startedAt = time.Now()
 	ru.emitLocked(Event{Type: "started"})
 	return true
 }
@@ -168,6 +189,8 @@ func (ru *run) finish(artifact []byte, failures int, st Stats) {
 		Failures:       failures,
 		TrialsExecuted: st.TrialsExecuted,
 		TrialsMemoized: st.TrialsMemoized,
+		RunExecuted:    ru.executed.Load(),
+		RunMemoized:    ru.memoized.Load(),
 	})
 }
 

@@ -26,6 +26,7 @@ import (
 	"meecc/internal/core"
 	"meecc/internal/exp"
 	"meecc/internal/obs"
+	"meecc/internal/obs/ops"
 	"meecc/internal/serve/journal"
 	"meecc/internal/snapstore"
 )
@@ -70,6 +71,16 @@ type Config struct {
 	// serve.journal_replayed, serve.runs_resumed, serve.rejected_overload,
 	// serve.journal_errors, serve.warm_disk_loads, serve.warm_disk_spills).
 	Obs *obs.Observer
+	// Ops is the wall-clock operational telemetry registry served at GET
+	// /metrics. Nil means New creates a private one — telemetry is always on;
+	// it is structurally incapable of touching artifacts (see internal/obs/ops).
+	Ops *ops.Registry
+	// Log, when non-nil, receives the service's structured logs (admissions,
+	// run lifecycle, journal/store degradation). Nil discards them.
+	Log *ops.Logger
+	// SpanCap bounds the wall-clock span ring behind GET /v1/runs/{id}/trace
+	// (<= 0 means ops.DefaultSpanCap).
+	SpanCap int
 	// RunnerFactory, when non-nil, overrides how study names resolve to
 	// trial runners (tests inject synthetic studies; nil uses
 	// exp.RunnerWithWarmCache). The returned runner must obey the exp.Runner
@@ -103,6 +114,22 @@ type Server struct {
 	workers sync.WaitGroup
 	running sync.WaitGroup // runs currently executing
 
+	// Wall-clock operational telemetry (tele.go): the /metrics registry,
+	// structured logger, span ring, process start mark, and the hot-path
+	// instrument handles resolved once at New.
+	ops     *ops.Registry
+	log     *ops.Logger
+	spans   *ops.SpanRecorder
+	started time.Time
+	inst    serveInstruments
+
+	// slotMu manages the trial span track pool: concurrent trials render on
+	// distinct "slot-N" tracks, and finished trials recycle their slot so the
+	// trace stays as narrow as the realized parallelism.
+	slotMu   sync.Mutex
+	slotFree []int
+	slotNext int
+
 	mu       sync.Mutex
 	draining bool
 	pending  int // runs sitting in queue (reserves channel capacity)
@@ -135,22 +162,36 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBodyBytes = 1 << 20
 	}
 	warm := core.NewWarmCache(cfg.WarmCapacity)
+	var store *snapstore.Store
 	if cfg.StoreDir != "" {
-		store, err := snapstore.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+		st, err := snapstore.Open(cfg.StoreDir, cfg.StoreMaxBytes)
 		if err != nil {
 			return nil, err
 		}
+		store = st
 		warm.AttachStore(store)
 	}
+	if cfg.Ops == nil {
+		cfg.Ops = ops.NewRegistry()
+	}
 	s := &Server{
-		cfg:   cfg,
-		warm:  warm,
-		queue: make(chan *run, cfg.MaxPending),
-		quit:  make(chan struct{}),
-		done:  make(chan struct{}),
-		runs:  map[string]*run{},
-		subs:  map[string]int{},
-		memo:  map[string]memoTrial{},
+		cfg:     cfg,
+		warm:    warm,
+		queue:   make(chan *run, cfg.MaxPending),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		runs:    map[string]*run{},
+		subs:    map[string]int{},
+		memo:    map[string]memoTrial{},
+		ops:     cfg.Ops,
+		log:     cfg.Log,
+		spans:   ops.NewSpanRecorder(cfg.SpanCap),
+		started: time.Now(),
+	}
+	s.registerOps()
+	warm.SetOps(s.ops)
+	if store != nil {
+		store.SetOps(s.ops, s.log)
 	}
 	if cfg.JournalPath != "" {
 		jn, recs, err := journal.Open(cfg.JournalPath)
@@ -158,15 +199,24 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.journal = jn
+		jn.SetOps(s.ops)
+		if healed := jn.HealedBytes(); healed > 0 {
+			s.log.Warn("journal torn tail truncated", "path", cfg.JournalPath, "bytes", healed)
+		}
+		s.log.Info("journal replayed", "path", cfg.JournalPath, "records", jn.Replayed())
 		s.replay(recs)
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/runs", s.handleList)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
+	s.handle("POST /v1/runs", "submit", s.handleSubmit)
+	s.handle("GET /v1/runs", "list", s.handleList)
+	s.handle("GET /v1/runs/{id}", "status", s.handleStatus)
+	s.handle("DELETE /v1/runs/{id}", "cancel", s.handleCancel)
+	s.handle("GET /v1/runs/{id}/events", "events", s.handleEvents)
+	s.handle("GET /v1/runs/{id}/artifact", "artifact", s.handleArtifact)
+	s.handle("GET /v1/runs/{id}/trace", "trace", s.handleTrace)
+	s.mux.Handle("GET /metrics", s.ops.Handler())
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	s.handle("GET /readyz", "readyz", s.handleReadyz)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -267,6 +317,7 @@ func (s *Server) journalAppend(rec journal.Record) {
 		s.stats.JournalErrors++
 		s.mu.Unlock()
 		s.cfg.Obs.Counter("serve.journal_errors").Inc()
+		s.log.Warn("journal append failed; durability degraded", "run", rec.RunID, "err", err.Error())
 	}
 }
 
@@ -275,6 +326,7 @@ func (s *Server) journalAppend(rec journal.Record) {
 // and queues the run. Saturated queues reject with 429 + Retry-After; a
 // draining server rejects with 503.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var raw json.RawMessage
 	if err := json.NewDecoder(body).Decode(&raw); err != nil {
@@ -301,6 +353,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.ops.Counter("meecc_serve_runs_rejected_total", "Run submissions rejected.", "reason", "draining").Inc()
+		s.log.Warn("submission rejected: draining", "study", spec.Study, "name", spec.Name)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
@@ -308,7 +362,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.pending >= cap(s.queue) {
 		s.stats.RejectedOverload++
 		s.cfg.Obs.Counter("serve.rejected_overload").Inc()
+		pending := s.pending
 		s.mu.Unlock()
+		s.ops.Counter("meecc_serve_runs_rejected_total", "Run submissions rejected.", "reason", "overload").Inc()
+		s.log.Warn("submission rejected: queue full", "study", spec.Study, "name", spec.Name, "pending", pending)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "run queue is full (%d pending)", cap(s.queue))
 		return
@@ -321,11 +378,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.pending++
 	s.stats.RunsSubmitted++
 	s.cfg.Obs.Counter("serve.runs_submitted").Inc()
+	queueDepth := s.pending
 	s.mu.Unlock()
+	s.inst.runsSubmitted.Inc()
 
 	// Write-ahead: the admission is durable before the client hears 202.
 	s.journalAppend(journal.Record{Kind: journal.KindRun, RunID: id, SpecHash: hash, Spec: canonical})
 	s.queue <- ru // never blocks: pending < cap was checked under s.mu
+	s.spans.Record(id, "run", "submit", reqStart, time.Since(reqStart))
+	s.log.Info("run admitted", "run", id, "study", spec.Study, "name", spec.Name,
+		"trials", spec.Trials, "queue_depth", queueDepth)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -374,14 +436,27 @@ func (s *Server) execute(ru *run) {
 	if !ru.start(cancel) {
 		return // cancelled while queued
 	}
+	queueWait := time.Since(ru.queuedAt)
+	s.inst.queueWait.Observe(queueWait.Seconds())
+	s.spans.Record(ru.id, "run", "queued", ru.queuedAt, queueWait)
+	s.log.Info("run started", "run", ru.id, "study", ru.spec.Study,
+		"queue_wait_ms", queueWait.Milliseconds())
+	s.inst.runsActive.Add(1)
+	execStart := time.Now()
+	defer func() {
+		s.inst.runsActive.Add(-1)
+		s.inst.runSeconds.ObserveSince(execStart)
+		s.spans.Record(ru.id, "run", "execute", execStart, time.Since(execStart))
+	}()
 	runner, err := s.runnerFor(ru.spec.Study)
 	if err != nil {
 		s.end(ru, "failed", nil, 0, err)
 		return
 	}
-	rep, err := exp.Run(ru.spec, s.memoize(runner), exp.Config{
+	rep, err := exp.Run(ru.spec, s.memoize(ru, runner), exp.Config{
 		Workers: s.cfg.Workers,
 		Context: ctx,
+		Ops:     s.ops,
 		OnProgress: func(p exp.Progress) {
 			ru.emit(Event{
 				Type:      "progress",
@@ -402,10 +477,11 @@ func (s *Server) execute(ru *run) {
 		case errors.Is(cause, errShutdown):
 			// No terminal journal record: the run resumes after restart.
 			ru.interrupted()
+			s.finishedOps(ru, "interrupted", "")
 		case errors.Is(cause, context.DeadlineExceeded):
 			s.end(ru, "failed", nil, 0, fmt.Errorf("run exceeded its %s deadline", s.cfg.RunTimeout))
 		default: // client cancel
-			artifact, merr := exp.MarshalArtifact(rep.Artifact())
+			artifact, merr := s.marshalArtifact(ru, rep)
 			if merr != nil {
 				s.end(ru, "failed", nil, 0, merr)
 				return
@@ -414,12 +490,35 @@ func (s *Server) execute(ru *run) {
 		}
 		return
 	}
-	artifact, err := exp.MarshalArtifact(rep.Artifact())
+	artifact, err := s.marshalArtifact(ru, rep)
 	if err != nil {
 		s.end(ru, "failed", nil, 0, err)
 		return
 	}
 	s.end(ru, "done", artifact, rep.Failures(), nil)
+}
+
+// marshalArtifact renders the report's canonical artifact under a recorded
+// "artifact" span.
+func (s *Server) marshalArtifact(ru *run, rep *exp.Report) ([]byte, error) {
+	start := time.Now()
+	artifact, err := exp.MarshalArtifact(rep.Artifact())
+	s.spans.Record(ru.id, "run", "artifact", start, time.Since(start))
+	return artifact, err
+}
+
+// finishedOps records a run's terminal outcome in the wall-clock telemetry:
+// the outcome counter and a structured log line with the run's per-run
+// execute/memo split.
+func (s *Server) finishedOps(ru *run, outcome, errMsg string) {
+	s.ops.Counter("meecc_serve_runs_finished_total", "Runs reaching a terminal state.", "outcome", outcome).Inc()
+	kv := []any{"run", ru.id, "outcome", outcome,
+		"executed", ru.executed.Load(), "memoized", ru.memoized.Load()}
+	if errMsg != "" {
+		s.log.Error("run finished", append(kv, "err", errMsg)...)
+		return
+	}
+	s.log.Info("run finished", kv...)
 }
 
 // end journals the run's terminal state, then applies it in memory — the
@@ -439,6 +538,7 @@ func (s *Server) end(ru *run, outcome string, artifact []byte, failures int, err
 	default:
 		ru.fail(err)
 	}
+	s.finishedOps(ru, outcome, rec.ErrMsg)
 }
 
 // memoize wraps a runner with the trial memo: results are replayed by
@@ -447,7 +547,7 @@ func (s *Server) end(ru *run, outcome string, artifact []byte, failures int, err
 // covers everything a trial depends on, so a hit is exact; specs that share
 // cells (including resubmissions under a different name) share entries, and
 // a restart rebuilds the table from the journal.
-func (s *Server) memoize(runner exp.Runner) exp.Runner {
+func (s *Server) memoize(ru *run, runner exp.Runner) exp.Runner {
 	return func(j exp.Job) (exp.Metrics, *obs.Snapshot, error) {
 		key := fmt.Sprintf("%s/%d", j.Spec.CellMemoKey(j.Cell), j.Trial)
 		s.mu.Lock()
@@ -455,6 +555,9 @@ func (s *Server) memoize(runner exp.Runner) exp.Runner {
 			s.stats.TrialsMemoized++
 			s.cfg.Obs.Counter("serve.trials_memoized").Inc()
 			s.mu.Unlock()
+			s.inst.trialsMemoized.Inc()
+			ru.memoized.Add(1)
+			s.spans.Record(ru.id, "memo", spanName("memo", j.Cell.Key(), j.Trial), time.Now(), 0)
 			if v.err != "" {
 				return nil, nil, fmt.Errorf("%s", v.err)
 			}
@@ -462,7 +565,16 @@ func (s *Server) memoize(runner exp.Runner) exp.Runner {
 		}
 		s.mu.Unlock()
 
+		// Fresh execution: timed, spanned on a leased slot track (so
+		// concurrent trials render as parallel rows in the trace), and
+		// journaled before the result is used.
+		slot := s.acquireSlot()
+		trialStart := time.Now()
 		m, snap, err := runner(j)
+		trialDur := time.Since(trialStart)
+		s.releaseSlot(slot)
+		s.inst.trialSeconds.Observe(trialDur.Seconds())
+		s.spans.Record(ru.id, fmt.Sprintf("slot-%d", slot), spanName("trial", j.Cell.Key(), j.Trial), trialStart, trialDur)
 
 		v := memoTrial{metrics: m, snap: snap}
 		if err != nil {
@@ -480,6 +592,8 @@ func (s *Server) memoize(runner exp.Runner) exp.Runner {
 		s.stats.TrialsExecuted++
 		s.cfg.Obs.Counter("serve.trials_executed").Inc()
 		s.mu.Unlock()
+		s.inst.trialsExecuted.Inc()
+		ru.executed.Add(1)
 		return m, snap, err
 	}
 }
@@ -499,6 +613,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("drain started: admission stopped, in-flight runs finishing")
 	close(s.quit)
 
 	finished := make(chan struct{})
@@ -526,18 +641,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Runs that never started (still queued) end their streams here; with no
 	// terminal journal record they are resumable after restart.
 	s.mu.Lock()
+	var interrupted []*run
 	for _, id := range s.order {
 		if ru := s.runs[id]; !ru.snapshotState().terminal() {
 			ru.interrupted()
+			interrupted = append(interrupted, ru)
 		}
 	}
 	s.mu.Unlock()
+	for _, ru := range interrupted {
+		s.finishedOps(ru, "interrupted", "")
+	}
 
 	if s.journal != nil {
 		s.journalAppend(journal.Record{Kind: journal.KindCheckpoint})
 		s.journal.Sync()
 		s.journal.Close()
 	}
+	s.log.Info("shutdown complete", "uptime_seconds", int64(time.Since(s.started).Seconds()))
 	close(s.done)
 	return nil
 }
@@ -590,6 +711,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if ru.cancelIfQueued() {
 		s.journalAppend(journal.Record{Kind: journal.KindEnd, RunID: ru.id, Outcome: "cancelled"})
+		s.finishedOps(ru, "cancelled", "")
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]string{"id": ru.id, "state": string(StateCancelled)})
 		return
@@ -623,6 +745,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		next = n
 	}
+	s.inst.streamsTotal.Inc()
+	if next > 0 {
+		// A nonzero resume offset means a client reconnected mid-run.
+		s.inst.streamResumes.Inc()
+	}
+	s.inst.streamsActive.Add(1)
+	defer s.inst.streamsActive.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	flusher, _ := w.(http.Flusher)

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"meecc/internal/obs/ops"
 )
 
 // ErrNotFound reports a key with no blob in the store.
@@ -42,6 +44,19 @@ type Store struct {
 	dir      string
 	maxBytes int64 // <= 0 means unbounded
 	mu       sync.Mutex
+
+	// Wall-clock telemetry; all nil-safe, so an uninstrumented store pays
+	// only nil checks.
+	log           *ops.Logger
+	puts          *ops.Counter
+	putBytes      *ops.Counter
+	gets          *ops.Counter
+	getMisses     *ops.Counter
+	selfHeals     *ops.Counter
+	evictions     *ops.Counter
+	evictionBytes *ops.Counter
+	putSeconds    *ops.Histogram
+	getSeconds    *ops.Histogram
 }
 
 // Open creates (if needed) and opens a store rooted at dir. maxBytes bounds
@@ -55,6 +70,24 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetOps registers the store's wall-clock metrics on reg and its structured
+// logs on log. Either may be nil. Operational only: nothing recorded here
+// flows into artifacts.
+func (s *Store) SetOps(reg *ops.Registry, log *ops.Logger) {
+	s.log = log
+	s.puts = reg.Counter("meecc_snapstore_puts_total", "Blobs written to the snapshot store.")
+	s.putBytes = reg.Counter("meecc_snapstore_put_bytes_total", "Bytes written to the snapshot store.")
+	s.gets = reg.Counter("meecc_snapstore_gets_total", "Blob loads attempted from the snapshot store.")
+	s.getMisses = reg.Counter("meecc_snapstore_get_misses_total", "Blob loads that found no stored blob.")
+	s.selfHeals = reg.Counter("meecc_snapstore_selfheal_deletions_total", "Corrupt blobs deleted by Get self-healing.")
+	s.evictions = reg.Counter("meecc_snapstore_evictions_total", "Blobs evicted to stay under the size bound.")
+	s.evictionBytes = reg.Counter("meecc_snapstore_eviction_bytes_total", "Bytes reclaimed by LRU eviction.")
+	s.putSeconds = reg.Histogram("meecc_snapstore_put_seconds", "Wall time of snapshot store writes.", nil)
+	s.getSeconds = reg.Histogram("meecc_snapstore_get_seconds", "Wall time of snapshot store loads.", nil)
+	reg.GaugeFunc("meecc_snapstore_bytes", "Total bytes currently stored.", func() float64 { return float64(s.Bytes()) })
+	reg.GaugeFunc("meecc_snapstore_blobs", "Blobs currently stored.", func() float64 { return float64(s.Len()) })
+}
 
 func (s *Store) path(key string) (string, error) {
 	if len(key) != 2*sha256.Size {
@@ -75,6 +108,8 @@ func (s *Store) Put(key string, blob []byte) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	defer s.putSeconds.ObserveSince(start)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
@@ -91,6 +126,8 @@ func (s *Store) Put(key string, blob []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("snapstore: %w", err)
 	}
+	s.puts.Inc()
+	s.putBytes.Add(uint64(len(blob)))
 	s.evictLocked(key)
 	return nil
 }
@@ -105,10 +142,14 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	defer s.getSeconds.ObserveSince(start)
+	s.gets.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	blob, err := os.ReadFile(p)
 	if errors.Is(err, os.ErrNotExist) {
+		s.getMisses.Inc()
 		return nil, ErrNotFound
 	}
 	if err != nil {
@@ -118,6 +159,8 @@ func (s *Store) Get(key string) ([]byte, error) {
 		// Too short to carry a seal: a torn or truncated file. Self-heal by
 		// dropping it so the next Put can repopulate the slot.
 		os.Remove(p)
+		s.selfHeals.Inc()
+		s.log.Warn("snapstore self-heal: deleted corrupt blob", "key", key, "bytes", len(blob))
 		return nil, fmt.Errorf("%w: stored blob %s is %d bytes", ErrCorrupt, key, len(blob))
 	}
 	now := time.Now()
@@ -218,6 +261,8 @@ func (s *Store) evictLocked(keep string) {
 		}
 		if os.Remove(e.path) == nil {
 			total -= e.size
+			s.evictions.Inc()
+			s.evictionBytes.Add(uint64(e.size))
 		}
 	}
 }
